@@ -1,0 +1,91 @@
+// Command benchsuite regenerates the paper's evaluation: every table and
+// figure of §IV/§V, printed as text tables with the same rows the paper
+// plots.
+//
+// Usage:
+//
+//	benchsuite [-exp all|table1|fig2|fig4|fig5|accuracy|runtimeopt] [-scalediv N] [-seed S]
+//
+// Inputs are synthesized at 1/scalediv of Table I's sizes (default 512,
+// ~10-18 MB per application); the shape of every result — who wins, by
+// what factor, where crossovers fall — is the reproduction target, not
+// absolute times.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"activego/internal/experiments"
+	"activego/internal/workloads"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, table1, fig2, fig4, fig5, accuracy, runtimeopt")
+	scaleDiv := flag.Int64("scalediv", 512, "divide Table I input sizes by this factor")
+	seed := flag.Int64("seed", 42, "generator seed")
+	flag.Parse()
+
+	params := workloads.Params{ScaleDiv: *scaleDiv, Seed: *seed}
+	runners := map[string]func() error{
+		"table1": func() error {
+			_, tbl, err := experiments.Table1(params)
+			return render(tbl, err)
+		},
+		"fig2": func() error {
+			_, tbl, err := experiments.Fig2(params)
+			return render(tbl, err)
+		},
+		"fig4": func() error {
+			_, tbl, err := experiments.Fig4(params)
+			return render(tbl, err)
+		},
+		"fig5": func() error {
+			_, tbl, err := experiments.Fig5(params)
+			return render(tbl, err)
+		},
+		"accuracy": func() error {
+			_, tbl, err := experiments.Accuracy(params)
+			return render(tbl, err)
+		},
+		"runtimeopt": func() error {
+			_, tbl, err := experiments.RuntimeOpt(params)
+			return render(tbl, err)
+		},
+	}
+	order := []string{"table1", "fig2", "fig4", "fig5", "accuracy", "runtimeopt"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			fmt.Printf("==== %s ====\n", name)
+			if err := runners[name](); err != nil {
+				fail(err)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fail(fmt.Errorf("unknown experiment %q (want one of %v or all)", *exp, order))
+	}
+	if err := run(); err != nil {
+		fail(err)
+	}
+}
+
+type renderer interface{ String() string }
+
+func render(tbl renderer, err error) error {
+	if err != nil {
+		return err
+	}
+	fmt.Print(tbl.String())
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchsuite:", err)
+	os.Exit(1)
+}

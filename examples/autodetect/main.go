@@ -1,0 +1,90 @@
+// Autodetect example: a look inside the sampling phase (§III-A). The
+// runtime runs a custom program on four scaled-down inputs, fits each
+// line's cost against the five candidate complexity curves, and prices
+// both sides of Equation 1 — all visible here line by line.
+//
+//	go run ./examples/autodetect
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"activego/internal/core"
+	"activego/internal/inputs"
+	"activego/internal/lang/value"
+	"activego/internal/platform"
+	"activego/internal/profile"
+	"activego/internal/report"
+)
+
+// Three lines with genuinely different complexity classes: a linear
+// filter, an O(n²)-ish pairwise kernel on the survivors, and a constant
+// summary. The sampler has to tell them apart from measurements alone.
+const program = `m = load("matrix")
+g = csr_from_dense(m, 0.000001)
+s = spmv(g, full(ncols(g), 1.0))
+total = vsum(s)
+peak = vmax(s)
+`
+
+func main() {
+	// A 1024x1024 dense matrix whose sparsity decays away from the
+	// top-left corner — the pattern that fools prefix sampling (§V).
+	rng := rand.New(rand.NewSource(3))
+	n := 1024
+	m := value.NewMat(n, n)
+	for i := 0; i < n; i++ {
+		pi := 1 - 0.9*float64(i)/float64(n)
+		for j := 0; j < n; j++ {
+			pj := 1 - 0.9*float64(j)/float64(n)
+			if rng.Float64() < 0.12*pi*pj {
+				m.Set(i, j, rng.Float64())
+			}
+		}
+	}
+	reg := inputs.NewRegistry()
+	reg.Add("matrix", m, inputs.ModeSquare)
+
+	rt := core.New(platform.Default())
+	rt.SampleScales = profile.ScaledScales
+	rt.PreloadInputs(reg)
+
+	prog, rep, planRes, err := rt.Analyze(program, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = prog
+	fmt.Println("program:")
+	fmt.Print(program)
+
+	fmt.Printf("\nsampling phase: %d scaled runs at factors %v\n", len(rt.SampleScales), rt.SampleScales)
+	tbl := report.NewTable("per-line curve fits and full-scale predictions",
+		"line", "source", "work curve", "out-bytes curve", "pred CT_host", "pred CT_csd", "pred D_out")
+	srcLines := strings.Split(program, "\n")
+	byLine := planRes.ByLine()
+	for _, lp := range rep.Lines {
+		pred := lp.Predict(1)
+		est := byLine[lp.Line]
+		src := ""
+		if lp.Line-1 < len(srcLines) {
+			src = strings.TrimSpace(srcLines[lp.Line-1])
+		}
+		if len(src) > 34 {
+			src = src[:31] + "..."
+		}
+		tbl.AddRow(fmt.Sprintf("%d", lp.Line), src,
+			lp.Models[0].Curve.String(), lp.Models[5].Curve.String(),
+			fmt.Sprintf("%.4f ms", est.CTHost*1e3),
+			fmt.Sprintf("%.4f ms", est.CTDev*1e3),
+			fmt.Sprintf("%.0f B", pred.OutBytes))
+	}
+	fmt.Print(tbl.String())
+	fmt.Printf("\n%s\n", planRes.Describe())
+
+	fmt.Println("\nnote the CSR line: its predicted output volume exceeds what the full run")
+	fmt.Println("produces, because the sampled prefix of the matrix is denser than the rest —")
+	fmt.Println("the same conservative over-estimate the paper reports (up to 2.41x, §V).")
+}

@@ -1,0 +1,3 @@
+module activego
+
+go 1.22

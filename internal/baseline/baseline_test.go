@@ -1,0 +1,82 @@
+package baseline
+
+import (
+	"testing"
+
+	"activego/internal/codegen"
+	"activego/internal/inputs"
+	"activego/internal/lang/interp"
+	"activego/internal/lang/parser"
+	"activego/internal/lang/value"
+	"activego/internal/platform"
+)
+
+func scanTrace(t *testing.T) *interp.Trace {
+	t.Helper()
+	reg := inputs.NewRegistry()
+	reg.Add("v", value.NewVec(make([]float64, 1<<18)), inputs.ModeRows)
+	prog, err := parser.Parse(`v = load("v")
+m = vgt(v, 0.5)
+s = vselect(v, m)
+r = vsum(s)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, _, err := interp.Run(prog, reg.Context(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+func TestSearchFindsPartitionAtLeastAsGoodAsEndpoints(t *testing.T) {
+	trace := scanTrace(t)
+	cfg := platform.DefaultConfig()
+	part, bestT, err := Search(cfg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := RunHostOnly(platform.New(cfg), trace, codegen.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := RunStatic(platform.New(cfg), trace, codegen.NewPartition(trace.Lines()...), codegen.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestT > host.Duration*1.0001 {
+		t.Errorf("search best %v worse than host-only %v", bestT, host.Duration)
+	}
+	if bestT > full.Duration*1.0001 {
+		t.Errorf("search best %v worse than full offload %v", bestT, full.Duration)
+	}
+	t.Logf("best=%v lines=%v host=%v full=%v", bestT, part.Lines(), host.Duration, full.Duration)
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	trace := scanTrace(t)
+	cfg := platform.DefaultConfig()
+	p1, t1, err := Search(cfg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, t2, err := Search(cfg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p1.Equal(p2) || t1 != t2 {
+		t.Errorf("search not deterministic: %v/%v vs %v/%v", p1.Lines(), t1, p2.Lines(), t2)
+	}
+}
+
+func TestHostOnlyNeverUsesCSD(t *testing.T) {
+	trace := scanTrace(t)
+	res, err := RunHostOnly(platform.Default(), trace, codegen.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RecordsOnCSD != 0 {
+		t.Errorf("%d records on CSD in the no-ISP baseline", res.RecordsOnCSD)
+	}
+}

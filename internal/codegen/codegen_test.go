@@ -1,0 +1,48 @@
+package codegen
+
+import "testing"
+
+func TestBackendLadderInvariants(t *testing.T) {
+	// The §V ladder depends on these orderings.
+	if !(Interpreted.GlueFactor > Cython.GlueFactor && Cython.GlueFactor > Native.GlueFactor && Native.GlueFactor > C.GlueFactor) {
+		t.Error("glue factors must strictly decrease down the ladder")
+	}
+	if Interpreted.CopyElim || Cython.CopyElim {
+		t.Error("copy elimination arrives only with ActivePy's codegen")
+	}
+	if !Native.CopyElim || !C.CopyElim {
+		t.Error("native and C must have no redundant copies")
+	}
+	if Interpreted.CompileOverhead != 0 {
+		t.Error("the interpreter does not compile")
+	}
+	if Native.CompileOverhead <= 0 {
+		t.Error("native codegen costs compile time")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	p := NewPartition(3, 1, 2)
+	if !p.OnCSD(1) || !p.OnCSD(3) || p.OnCSD(4) {
+		t.Error("membership")
+	}
+	lines := p.Lines()
+	for i, want := range []int{1, 2, 3} {
+		if lines[i] != want {
+			t.Fatalf("lines %v", lines)
+		}
+	}
+	if p.Empty() {
+		t.Error("non-empty partition reported empty")
+	}
+	if !NewPartition().Empty() {
+		t.Error("empty partition")
+	}
+	q := NewPartition(1, 2, 3)
+	if !p.Equal(q) {
+		t.Error("equal partitions differ")
+	}
+	if p.Equal(NewPartition(1, 2)) || p.Equal(NewPartition(1, 2, 4)) {
+		t.Error("unequal partitions equal")
+	}
+}

@@ -1,0 +1,57 @@
+package core_test
+
+import (
+	"testing"
+
+	"activego/internal/baseline"
+	"activego/internal/codegen"
+	"activego/internal/core"
+	"activego/internal/platform"
+	"activego/internal/workloads"
+)
+
+// TestCalibrationSweep prints per-workload baseline/static/ActivePy
+// numbers; it is the calibration dashboard for the Figure 4 shape.
+func TestCalibrationSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is slow")
+	}
+	params := workloads.DefaultParams()
+	var sumStatic, sumAuto float64
+	n := 0
+	for _, spec := range workloads.All() {
+		inst := spec.Build(params)
+
+		p := platform.Default()
+		rt := core.New(p)
+		rt.PreloadInputs(inst.Registry)
+		cfg := core.DefaultConfig()
+		cfg.OverheadScale = params.OverheadScale()
+		out, err := rt.Run(inst.Source, inst.Registry, cfg)
+		if err != nil {
+			t.Fatalf("%s: activepy: %v", spec.Name, err)
+		}
+		if err := inst.Check(out.Env); err != nil {
+			t.Errorf("%s: correctness: %v", spec.Name, err)
+		}
+
+		pb := platform.Default()
+		base, err := baseline.RunHostOnly(pb, out.Trace, codegen.C)
+		if err != nil {
+			t.Fatalf("%s: baseline: %v", spec.Name, err)
+		}
+		part, bestT, err := baseline.Search(platform.DefaultConfig(), out.Trace)
+		if err != nil {
+			t.Fatalf("%s: search: %v", spec.Name, err)
+		}
+		static := base.Duration / bestT
+		auto := base.Duration / out.Exec.Duration
+		match := part.Equal(out.Plan.Partition)
+		t.Logf("%-13s base=%8.4fms static=%.3fx auto=%.3fx match=%v plan=%v best=%v",
+			spec.Name, base.Duration*1e3, static, auto, match, out.Plan.Partition.Lines(), part.Lines())
+		sumStatic += static
+		sumAuto += auto
+		n++
+	}
+	t.Logf("MEAN static=%.3fx auto=%.3fx", sumStatic/float64(n), sumAuto/float64(n))
+}

@@ -1,0 +1,194 @@
+// Package core is the ActivePy runtime — the paper's primary
+// contribution, assembled from the substrates.
+//
+// Given plain mini-language source with no ISP hints whatsoever, Run:
+//
+//  1. parses the program,
+//  2. executes the sampling phase on four scaled-down inputs and fits
+//     complexity curves per line (§III-A, internal/profile + internal/fit),
+//  3. prices every line on host and CSD with Equation 1's terms and runs
+//     Algorithm 1 to pick the offload set (§III-B, internal/plan),
+//  4. "generates code": selects the native backend, fixes the partition,
+//     and pays the compilation overhead (§III-C, internal/codegen),
+//  5. executes on the simulated platform with per-line status updates,
+//     runtime monitoring, and dynamic task migration (§III-D,
+//     internal/exec).
+//
+// The same entry points also run the comparison configurations the
+// paper's evaluation needs (interpreted/Cython/no-ISP/no-migration), so
+// every figure harness goes through this package.
+package core
+
+import (
+	"fmt"
+
+	"activego/internal/codegen"
+	"activego/internal/exec"
+	"activego/internal/inputs"
+	"activego/internal/lang/ast"
+	"activego/internal/lang/interp"
+	"activego/internal/lang/parser"
+	"activego/internal/lang/value"
+	"activego/internal/plan"
+	"activego/internal/platform"
+	"activego/internal/profile"
+)
+
+// SamplingOverhead is the one-time latency of the sampling phase; with
+// codegen.Native.CompileOverhead it totals the ~0.1 s the paper reports.
+const SamplingOverhead = 0.04
+
+// Config selects runtime features for one execution.
+type Config struct {
+	// Migration enables the §III-D monitor; the paper's "ActivePy w/o
+	// migration" configuration turns it off.
+	Migration bool
+	// UseCallQueue routes offloaded lines through the NVMe call queue.
+	UseCallQueue bool
+	// OverheadScale multiplies the one-time overheads (sampling, compile,
+	// regeneration); zero means 1. Harnesses running 1/N-scale datasets
+	// pass 1/N so overhead-to-runtime ratios match the paper's.
+	OverheadScale float64
+}
+
+// DefaultConfig is the full-fledged ActivePy runtime.
+func DefaultConfig() Config {
+	return Config{Migration: true, UseCallQueue: true}
+}
+
+// Outcome bundles everything one ActivePy execution produced.
+type Outcome struct {
+	Program *ast.Program
+	Profile *profile.Report
+	Plan    *plan.Result
+	Trace   *interp.Trace
+	Env     *interp.Env
+	Outputs map[string]value.Value
+	Exec    *exec.Result
+}
+
+// Runtime is an ActivePy instance bound to one platform.
+type Runtime struct {
+	Plat    *platform.Platform
+	Machine plan.Machine
+	// SampleScales overrides the sampling phase's scale factors; nil uses
+	// profile.Scales (the paper's 2^-10…2^-7). Harnesses running
+	// pre-scaled instances pass profile.ScaledScales.
+	SampleScales []float64
+}
+
+// New builds a runtime on p, measuring the platform's slowdown constant C
+// with the calibration microbenchmark.
+func New(p *platform.Platform) *Runtime {
+	return &Runtime{Plat: p, Machine: plan.MachineFromPlatform(p)}
+}
+
+// PreloadInputs places every registry object into the CSD's object store
+// (datasets exist on the device before the experiment, as in §IV-B).
+func (rt *Runtime) PreloadInputs(reg *inputs.Registry) {
+	for _, name := range reg.Names() {
+		e, _ := reg.Get(name)
+		rt.Plat.Dev.Store.Preload(name, e.Value.SizeBytes())
+	}
+}
+
+// Analyze runs steps 1–3: parse, sample, and plan, without executing at
+// full scale. Examples and the accuracy experiment use it directly.
+func (rt *Runtime) Analyze(src string, reg *inputs.Registry) (*ast.Program, *profile.Report, *plan.Result, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("core: parse: %w", err)
+	}
+	scales := rt.SampleScales
+	if scales == nil {
+		scales = profile.Scales
+	}
+	report, err := profile.RunScales(prog, reg, scales)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("core: sampling phase: %w", err)
+	}
+	estimates := plan.BuildEstimates(report.Predictions(), rt.Machine, codegen.Native)
+	planRes := plan.Optimal(estimates, rt.Machine)
+	return prog, report, planRes, nil
+}
+
+// Run executes src over reg with the full ActivePy pipeline.
+func (rt *Runtime) Run(src string, reg *inputs.Registry, cfg Config) (*Outcome, error) {
+	prog, report, planRes, err := rt.Analyze(src, reg)
+	if err != nil {
+		return nil, err
+	}
+	return rt.execute(prog, report, planRes, reg, cfg)
+}
+
+// RunWithPartition executes src with an externally chosen partition (the
+// programmer-directed configurations) under the given backend; no
+// sampling phase is charged, matching a statically compiled program.
+// overheadScale scales the backend's compile overhead (pass 1 at paper
+// scale, 1/N for 1/N-scale datasets; 0 means 1).
+func (rt *Runtime) RunWithPartition(src string, reg *inputs.Registry, part codegen.Partition, backend codegen.Backend, overheadScale float64) (*Outcome, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("core: parse: %w", err)
+	}
+	trace, env, err := rt.traceRun(prog, reg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := exec.Run(rt.Plat, trace.trace, exec.Options{
+		Backend:       backend,
+		Partition:     part,
+		OverheadScale: overheadScale,
+		UseCallQueue:  !part.Empty(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Program: prog, Trace: trace.trace, Env: env, Outputs: trace.outputs, Exec: res}, nil
+}
+
+type traced struct {
+	trace   *interp.Trace
+	outputs map[string]value.Value
+}
+
+func (rt *Runtime) traceRun(prog *ast.Program, reg *inputs.Registry) (*traced, *interp.Env, error) {
+	ctx := reg.Context(1)
+	trace, env, err := interp.Run(prog, ctx)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: full-scale run: %w", err)
+	}
+	return &traced{trace: trace, outputs: ctx.Outputs}, env, nil
+}
+
+func (rt *Runtime) execute(prog *ast.Program, report *profile.Report, planRes *plan.Result, reg *inputs.Registry, cfg Config) (*Outcome, error) {
+	trace, env, err := rt.traceRun(prog, reg)
+	if err != nil {
+		return nil, err
+	}
+	mig := exec.MigrationPolicy{}
+	if cfg.Migration {
+		mig = exec.DefaultMigration()
+	}
+	res, err := exec.Run(rt.Plat, trace.trace, exec.Options{
+		Backend:          codegen.Native,
+		Partition:        planRes.Partition,
+		Estimates:        planRes.ByLine(),
+		Migration:        mig,
+		SamplingOverhead: SamplingOverhead,
+		OverheadScale:    cfg.OverheadScale,
+		UseCallQueue:     cfg.UseCallQueue,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Program: prog,
+		Profile: report,
+		Plan:    planRes,
+		Trace:   trace.trace,
+		Env:     env,
+		Outputs: trace.outputs,
+		Exec:    res,
+	}, nil
+}

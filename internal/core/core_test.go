@@ -1,0 +1,126 @@
+package core_test
+
+import (
+	"testing"
+
+	"activego/internal/codegen"
+	"activego/internal/core"
+	"activego/internal/inputs"
+	"activego/internal/lang/value"
+	"activego/internal/platform"
+	"activego/internal/profile"
+)
+
+const scanProgram = `v = load("sensors")
+big = vselect(v, vgt(v, 0.5))
+n = vlen(big)
+s = vsum(big)
+`
+
+func scanRegistry(n int) *inputs.Registry {
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64(i%100) / 100
+	}
+	reg := inputs.NewRegistry()
+	reg.Add("sensors", value.NewVec(data), inputs.ModeRows)
+	return reg
+}
+
+func newRuntime() *core.Runtime {
+	rt := core.New(platform.Default())
+	rt.SampleScales = profile.ScaledScales
+	return rt
+}
+
+func TestPreloadInputsPopulatesStore(t *testing.T) {
+	reg := scanRegistry(1 << 16)
+	rt := newRuntime()
+	rt.PreloadInputs(reg)
+	obj, ok := rt.Plat.Dev.Store.Lookup("sensors")
+	if !ok {
+		t.Fatal("object not preloaded")
+	}
+	if obj.Size != int64(1<<16*8) {
+		t.Errorf("preloaded size %d", obj.Size)
+	}
+}
+
+func TestAnalyzeProducesPlanAndProfile(t *testing.T) {
+	reg := scanRegistry(1 << 18)
+	rt := newRuntime()
+	rt.PreloadInputs(reg)
+	prog, rep, planRes, err := rt.Analyze(scanProgram, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.MaxLine() != 4 {
+		t.Errorf("program lines %d", prog.MaxLine())
+	}
+	if len(rep.Lines) != 4 {
+		t.Errorf("profiled lines %d", len(rep.Lines))
+	}
+	if planRes.THost <= 0 || planRes.TCSD <= 0 || planRes.TCSD > planRes.THost {
+		t.Errorf("plan times host=%v csd=%v", planRes.THost, planRes.TCSD)
+	}
+	// This scan is ISP-friendly: the plan must offload the load+filter.
+	if !planRes.Partition.OnCSD(1) || !planRes.Partition.OnCSD(2) {
+		t.Errorf("plan %v should offload the scan", planRes.Partition.Lines())
+	}
+}
+
+func TestRunComputesCorrectValues(t *testing.T) {
+	reg := scanRegistry(1 << 16)
+	rt := newRuntime()
+	rt.PreloadInputs(reg)
+	cfg := core.DefaultConfig()
+	cfg.OverheadScale = 1e-4
+	out, err := rt.Run(scanProgram, reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 49/100 of values exceed 0.5 regardless of placement.
+	nv, _ := out.Env.Get("n")
+	if int64(nv.(value.Int)) != int64(1<<16/100*49) {
+		t.Errorf("n = %v", nv)
+	}
+	if out.Exec.Duration <= 0 {
+		t.Error("no simulated time elapsed")
+	}
+	if out.Plan == nil || out.Profile == nil || out.Trace == nil {
+		t.Error("outcome incomplete")
+	}
+}
+
+func TestRunWithPartitionForcesPlacement(t *testing.T) {
+	reg := scanRegistry(1 << 16)
+	rt := newRuntime()
+	rt.PreloadInputs(reg)
+	out, err := rt.RunWithPartition(scanProgram, reg, codegen.NewPartition(1, 2), codegen.C, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Exec.RecordsOnCSD != 2 || out.Exec.RecordsOnHost != 2 {
+		t.Errorf("records %d/%d, want 2/2", out.Exec.RecordsOnCSD, out.Exec.RecordsOnHost)
+	}
+}
+
+func TestParseErrorsSurface(t *testing.T) {
+	rt := newRuntime()
+	if _, _, _, err := rt.Analyze("x = (\n", scanRegistry(10)); err == nil {
+		t.Error("parse error swallowed")
+	}
+	if _, err := rt.Run("y = load(\"nope\")\n", scanRegistry(10), core.DefaultConfig()); err == nil {
+		t.Error("missing input error swallowed")
+	}
+}
+
+func TestDefaultSampleScalesAreThePapers(t *testing.T) {
+	rt := core.New(platform.Default())
+	if rt.SampleScales != nil {
+		t.Error("default runtime must use profile.Scales (nil field)")
+	}
+	if len(profile.Scales) != 4 || profile.Scales[0] != 1.0/1024 || profile.Scales[3] != 1.0/128 {
+		t.Errorf("paper scale factors changed: %v", profile.Scales)
+	}
+}

@@ -1,0 +1,66 @@
+package core_test
+
+import (
+	"testing"
+
+	"activego/internal/baseline"
+	"activego/internal/codegen"
+	"activego/internal/core"
+	"activego/internal/platform"
+	"activego/internal/workloads"
+)
+
+// TestSmokeEndToEnd drives one workload through the full ActivePy
+// pipeline and the baseline configurations, checking correctness and the
+// headline ordering: ISP (static or automatic) beats the no-ISP baseline
+// at full CSE availability.
+func TestSmokeEndToEnd(t *testing.T) {
+	for _, name := range []string{"tpch-6", "blackscholes"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec, ok := workloads.ByName(name)
+			if !ok {
+				t.Fatalf("no workload %s", name)
+			}
+			params := workloads.DefaultParams()
+			inst := spec.Build(params)
+
+			// ActivePy run.
+			p := platform.Default()
+			rt := core.New(p)
+			rt.PreloadInputs(inst.Registry)
+			cfg := core.DefaultConfig()
+			cfg.OverheadScale = params.OverheadScale()
+			out, err := rt.Run(inst.Source, inst.Registry, cfg)
+			if err != nil {
+				t.Fatalf("activepy run: %v", err)
+			}
+			if err := inst.Check(out.Env); err != nil {
+				t.Fatalf("correctness: %v", err)
+			}
+			t.Logf("plan: %s", out.Plan.Describe())
+			t.Logf("activepy duration: %.4fs (migrated=%v csd=%d host=%d)",
+				out.Exec.Duration, out.Exec.Migrated, out.Exec.RecordsOnCSD, out.Exec.RecordsOnHost)
+
+			// C baseline (host only).
+			pb := platform.Default()
+			base, err := baseline.RunHostOnly(pb, out.Trace, codegen.C)
+			if err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			t.Logf("c-baseline duration: %.4fs", base.Duration)
+
+			// Programmer-directed static ISP.
+			part, bestT, err := baseline.Search(platform.DefaultConfig(), out.Trace)
+			if err != nil {
+				t.Fatalf("search: %v", err)
+			}
+			t.Logf("static ISP best: %v %.4fs (speedup %.3fx)", part.Lines(), bestT, base.Duration/bestT)
+			t.Logf("activepy speedup vs baseline: %.3fx", base.Duration/out.Exec.Duration)
+
+			if out.Exec.Duration > base.Duration*1.05 {
+				t.Errorf("activepy (%.4fs) slower than baseline (%.4fs)", out.Exec.Duration, base.Duration)
+			}
+		})
+	}
+}

@@ -1,0 +1,183 @@
+// Package csd assembles the simulated computational storage device.
+//
+// The device mirrors §IV-A of the paper: an SoC with 8 wimpy cores (ARM
+// Cortex-A72 class) next to a 2 TB NAND array it can read at ~9 GB/s,
+// exposed to the host over a 5 GB/s NVMe link. The computational storage
+// engine (CSE) is deliberately *slower* than the host CPU — the paper is
+// explicit (§II-B1) that ISP gains come from data-volume reduction, not
+// from compute speed — and the device carries the availability machinery
+// that Figures 2 and 5 sweep.
+package csd
+
+import (
+	"fmt"
+
+	"activego/internal/flash"
+	"activego/internal/interconnect"
+	"activego/internal/nvme"
+	"activego/internal/sim"
+	"activego/internal/storage"
+)
+
+// Config sets the device's compute and memory constants.
+type Config struct {
+	CSECores    int     // processor cores in the CSE
+	CSERate     float64 // work units/second/core; < host rate by design
+	DRAMBytes   int64   // device DRAM capacity
+	QueueDepth  int     // NVMe queue depth
+	Flash       flash.Geometry
+	StatusBytes int64 // size of one status-update message (§III-C-b)
+}
+
+// DefaultConfig mirrors the paper's CSD. CSERate is chosen so that the
+// calibration microbenchmark measures the CSE ≈1.6x slower per core than
+// the default host core — the band a server-class ARM Cortex-A72 SoC
+// lands in against a desktop Ryzen on memory-streaming kernels, and the
+// regime in which the paper's data-reduction-driven gains (not compute
+// speed) decide offload profitability.
+func DefaultConfig() Config {
+	return Config{
+		CSECores:    8,
+		CSERate:     2.4e9,
+		DRAMBytes:   8 << 30,
+		QueueDepth:  64,
+		Flash:       flash.DefaultGeometry(),
+		StatusBytes: 64,
+	}
+}
+
+// Call is a device-side function invocation carried in an OpCall command.
+// The function runs "on" the device: it is responsible for scheduling its
+// own CSE work and array reads, then calling done exactly once.
+type Call func(dev *Device, done func(status uint16, value any))
+
+// Device is the live CSD.
+type Device struct {
+	Sim   *sim.Sim
+	Cfg   Config
+	Array *flash.Array
+	FTL   *flash.FTL
+	Store *storage.Store
+	CSE   *sim.Resource
+	Topo  *interconnect.Topology
+	QP    *nvme.QueuePair
+
+	preemptFns       []func()
+	preemptRequested bool
+	calls            uint64
+	statusMsgs       uint64
+}
+
+// New builds a device on simulator s attached via topo.
+func New(s *sim.Sim, topo *interconnect.Topology, cfg Config) *Device {
+	array := flash.NewArray(s, cfg.Flash)
+	ftl := flash.NewFTL(s, array)
+	store := storage.NewStore(s, array, ftl)
+	d := &Device{
+		Sim:   s,
+		Cfg:   cfg,
+		Array: array,
+		FTL:   ftl,
+		Store: store,
+		CSE:   sim.NewResource(s, "cse", cfg.CSECores, cfg.CSERate),
+		Topo:  topo,
+	}
+	d.QP = nvme.NewQueuePair(s, topo.D2H, cfg.QueueDepth, d.handle)
+	return d
+}
+
+// handle is the device-side command processor.
+func (d *Device) handle(cmd nvme.Command, submitted sim.Time, complete func(nvme.Completion)) {
+	switch cmd.Opcode {
+	case nvme.OpRead:
+		// Array read, then stream the data to the host over the link.
+		d.Store.Read(cmd.Object, cmd.Offset, cmd.Bytes, func(start, _ sim.Time) {
+			d.Topo.D2H.Transfer(float64(cmd.Bytes), func(_, end sim.Time) {
+				complete(nvme.Completion{Started: start})
+			})
+		})
+	case nvme.OpWrite:
+		// Data streams from the host, then programs into the array.
+		d.Topo.D2H.Transfer(float64(cmd.Bytes), func(start, _ sim.Time) {
+			d.Store.Write(cmd.Object, cmd.Offset, cmd.Bytes, func(_, _ sim.Time) {
+				complete(nvme.Completion{Started: start})
+			})
+		})
+	case nvme.OpCall:
+		call, ok := cmd.Payload.(Call)
+		if !ok {
+			complete(nvme.Completion{Status: 1, Value: fmt.Sprintf("csd: bad call payload %T", cmd.Payload)})
+			return
+		}
+		d.calls++
+		start := d.Sim.Now()
+		call(d, func(status uint16, value any) {
+			complete(nvme.Completion{Status: status, Value: value, Started: start})
+		})
+	case nvme.OpPreempt:
+		d.preemptRequested = true
+		fns := d.preemptFns
+		d.preemptFns = nil
+		for _, fn := range fns {
+			fn()
+		}
+		complete(nvme.Completion{})
+	case nvme.OpAdmin:
+		complete(nvme.Completion{Value: d.Cfg})
+	default:
+		complete(nvme.Completion{Status: 2, Value: fmt.Sprintf("csd: unknown opcode %v", cmd.Opcode)})
+	}
+}
+
+// OnPreempt registers fn to run when the host posts an OpPreempt command;
+// compiled CSD code uses this to learn it must stop at the next line
+// boundary (§III-D case 1).
+func (d *Device) OnPreempt(fn func()) { d.preemptFns = append(d.preemptFns, fn) }
+
+// PreemptRequested reports whether a high-priority tenant has demanded
+// the device (§III-D case 1); the offloaded task's status-update code
+// checks this at every line boundary. ClearPreempt acknowledges it.
+func (d *Device) PreemptRequested() bool { return d.preemptRequested }
+
+// ClearPreempt acknowledges a preempt demand.
+func (d *Device) ClearPreempt() { d.preemptRequested = false }
+
+// DemandAt schedules a high-priority tenant's demand for the device at
+// time t: the §III-D case-1 trigger, delivered through the command pages.
+func (d *Device) DemandAt(t sim.Time) {
+	d.Sim.At(t, func() { d.preemptRequested = true })
+}
+
+// SetAvailability changes the fraction of CSE time this simulation's jobs
+// receive; Figure 2's x-axis is exactly this knob (compute contention
+// only — the paper emulates "changes of computing resources").
+func (d *Device) SetAvailability(frac float64) { d.CSE.SetAvailability(frac) }
+
+// ScheduleStress models a co-tenant arriving at time t and stressing the
+// CSD *processor* (the paper's Figure 5 methodology): CSE availability
+// drops to frac. If duration > 0 the tenant departs after it. Flash
+// channel contention is a separate knob (Array.SetAvailability) used by
+// the storage-tenant ablation.
+func (d *Device) ScheduleStress(t sim.Time, frac float64, duration float64) {
+	d.Sim.At(t, func() { d.CSE.SetAvailability(frac) })
+	if duration > 0 {
+		d.Sim.At(t+duration, func() { d.CSE.SetAvailability(1) })
+	}
+}
+
+// SendStatus bills one status-update message from the CSE to the host
+// (§III-C-b). The content travels in the completion stream.
+func (d *Device) SendStatus(done func(start, end sim.Time)) {
+	d.statusMsgs++
+	d.Topo.D2H.Transfer(float64(d.Cfg.StatusBytes), done)
+}
+
+// PerfCounters exposes the CSD's hardware counters: retired work units and
+// the instantaneous effective rate. ActivePy reads these to compute the
+// slowdown constant C (§III-A) and the measured IPC (§III-D).
+func (d *Device) PerfCounters() (retiredWork float64, effectiveRate float64) {
+	return d.CSE.CompletedWork(), d.CSE.Rate() * d.CSE.Availability()
+}
+
+// Stats returns device-level activity counters.
+func (d *Device) Stats() (calls, statusMsgs uint64) { return d.calls, d.statusMsgs }

@@ -1,0 +1,127 @@
+package csd_test
+
+import (
+	"testing"
+
+	"activego/internal/csd"
+	"activego/internal/interconnect"
+	"activego/internal/nvme"
+	"activego/internal/sim"
+)
+
+func newDevice() (*sim.Sim, *csd.Device) {
+	s := sim.New()
+	topo := interconnect.New(s, interconnect.DefaultConfig())
+	return s, csd.New(s, topo, csd.DefaultConfig())
+}
+
+func TestReadCommandStreamsToHost(t *testing.T) {
+	s, d := newDevice()
+	d.Store.Preload("obj", 16<<20)
+	var done nvme.Completion
+	d.QP.Submit(nvme.Command{Opcode: nvme.OpRead, Object: "obj", Bytes: 16 << 20}, func(c nvme.Completion) { done = c })
+	s.Run()
+	if done.Status != 0 {
+		t.Fatalf("status %d", done.Status)
+	}
+	// Must cost at least the array read plus the link crossing.
+	minT := float64(16<<20)/d.Array.Geometry().EffectiveReadBW() + float64(16<<20)/d.Topo.D2H.Bandwidth()
+	wall := done.Completed - done.Submitted
+	if wall < minT*0.95 {
+		t.Errorf("read completed in %v, physical minimum %v", wall, minT)
+	}
+}
+
+func TestWriteCommandPrograms(t *testing.T) {
+	s, d := newDevice()
+	var done nvme.Completion
+	d.QP.Submit(nvme.Command{Opcode: nvme.OpWrite, Object: "new", Bytes: 4 << 20}, func(c nvme.Completion) { done = c })
+	s.Run()
+	if done.Status != 0 {
+		t.Fatalf("status %d", done.Status)
+	}
+	obj, ok := d.Store.Lookup("new")
+	if !ok || obj.Size != 4<<20 {
+		t.Errorf("object after write: %v %v", obj, ok)
+	}
+}
+
+func TestCallRunsOnCSE(t *testing.T) {
+	s, d := newDevice()
+	ran := false
+	d.QP.Submit(nvme.Command{
+		Opcode: nvme.OpCall,
+		Payload: csd.Call(func(dev *csd.Device, done func(uint16, any)) {
+			dev.CSE.Submit(1e6, func(_, _ sim.Time) {
+				ran = true
+				done(0, "ok")
+			})
+		}),
+	}, nil)
+	s.Run()
+	if !ran {
+		t.Error("call payload never ran")
+	}
+	calls, _ := d.Stats()
+	if calls != 1 {
+		t.Errorf("calls %d", calls)
+	}
+}
+
+func TestBadCallPayloadFails(t *testing.T) {
+	s, d := newDevice()
+	var done nvme.Completion
+	d.QP.Submit(nvme.Command{Opcode: nvme.OpCall, Payload: 42}, func(c nvme.Completion) { done = c })
+	s.Run()
+	if done.Status == 0 {
+		t.Error("bad payload must fail")
+	}
+}
+
+func TestPreempt(t *testing.T) {
+	s, d := newDevice()
+	preempted := false
+	d.OnPreempt(func() { preempted = true })
+	d.QP.Submit(nvme.Command{Opcode: nvme.OpPreempt}, nil)
+	s.Run()
+	if !preempted {
+		t.Error("preempt hook not fired")
+	}
+}
+
+func TestAvailabilityAffectsPerfCounters(t *testing.T) {
+	_, d := newDevice()
+	_, full := d.PerfCounters()
+	d.SetAvailability(0.25)
+	_, quarter := d.PerfCounters()
+	if quarter >= full || quarter < full*0.24 || quarter > full*0.26 {
+		t.Errorf("effective rate %v at 25%%, full %v", quarter, full)
+	}
+}
+
+func TestScheduleStressWindow(t *testing.T) {
+	s, d := newDevice()
+	d.ScheduleStress(1.0, 0.5, 2.0)
+	s.RunUntil(1.5)
+	if d.CSE.Availability() != 0.5 {
+		t.Errorf("availability mid-window %v", d.CSE.Availability())
+	}
+	s.RunUntil(3.5)
+	if d.CSE.Availability() != 1.0 {
+		t.Errorf("availability after window %v", d.CSE.Availability())
+	}
+}
+
+func TestSendStatusBillsLink(t *testing.T) {
+	s, d := newDevice()
+	before := d.Topo.D2H.TotalBytes()
+	d.SendStatus(nil)
+	s.Run()
+	if got := d.Topo.D2H.TotalBytes() - before; got != float64(d.Cfg.StatusBytes) {
+		t.Errorf("status bytes %v", got)
+	}
+	_, msgs := d.Stats()
+	if msgs != 1 {
+		t.Errorf("status count %d", msgs)
+	}
+}

@@ -1,0 +1,89 @@
+package exec
+
+// monitor implements §III-D: after each offloaded line, compare the
+// device's measured execution rate with the estimate; when it sags, use
+// the measured rate to re-estimate the remaining offloaded work, weigh it
+// against the full cost of migrating to the host (code regeneration, the
+// locals snapshot, and the remaining lines at host prices), and migrate
+// when staying is projected to be slower. Returns true when it migrated
+// and took over continuation of the run.
+func (e *executor) monitor() bool {
+	if !e.opts.Migration.Enabled || e.migrated {
+		return false
+	}
+	// §III-D case 1: a high-priority tenant demanded the device through
+	// the command pages. ActivePy vacates immediately at this line
+	// boundary — no cost/benefit analysis, the device is needed.
+	if e.p.Dev.PreemptRequested() {
+		e.p.Dev.ClearPreempt()
+		e.migrate(0)
+		return true
+	}
+	observed := effectiveRate(e.p)
+	nominal := e.p.Dev.CSE.Rate()
+	prev := e.lastObserved
+	e.lastObserved = observed
+	dropping := observed < e.opts.Migration.DecreaseFactor*prev
+	belowEstimate := observed < e.opts.Migration.IPCFraction*nominal
+	if !dropping && !belowEstimate {
+		return false
+	}
+
+	// Re-estimate the remaining offloaded records at the measured rate.
+	slowdown := nominal / observed
+	var remDev, remHost float64
+	for j := e.idx + 1; j < len(e.trace.Records); j++ {
+		rec := &e.trace.Records[j]
+		if !e.opts.Partition.OnCSD(rec.Line) {
+			continue
+		}
+		est := e.opts.Estimates[rec.Line]
+		if est == nil || est.Execs <= 0 {
+			continue
+		}
+		perExec := 1 / est.Execs
+		remDev += (est.CTDev*slowdown + est.SDev) * perExec
+		remHost += (est.CTHost + est.SHost) * perExec
+	}
+	if remDev == 0 {
+		return false
+	}
+
+	// Data moves lazily after migration, so the data-movement term is the
+	// device-resident volume the remaining lines will actually consume.
+	moved := map[string]bool{}
+	var lazyBytes float64
+	for j := e.idx + 1; j < len(e.trace.Records); j++ {
+		for _, r := range e.trace.Records[j].Reads {
+			st, ok := e.varHome[r.Name]
+			if ok && st.unit == UnitCSD && !moved[r.Name] {
+				moved[r.Name] = true
+				lazyBytes += float64(st.bytes)
+			}
+		}
+	}
+	migrateCost := e.opts.regenOverhead() + lazyBytes/e.p.Cfg.Inter.D2HBandwidth + remHost
+	if remDev <= migrateCost {
+		return false
+	}
+	e.migrate(lazyBytes)
+	return true
+}
+
+// migrate executes the §III-D migration: break at the line boundary we
+// are already on, regenerate host machine code for the remaining lines,
+// and resume on the host. Data stays where it is in the shared address
+// space — the paper's migrated task pays for "accessing live data in CSD
+// from the host", which here happens lazily: each remaining host line
+// that consumes a device-resident variable pulls it over the link when it
+// first touches it (pullRemoteReads), so only data actually needed moves.
+func (e *executor) migrate(liveBytes float64) {
+	_ = liveBytes // the cost model's conservative bound; actual moves are lazy
+	e.migrated = true
+	e.res.Migrated = true
+	e.res.MigratedAt = e.p.Sim.Now()
+	e.p.Sim.After(e.opts.regenOverhead(), func() {
+		e.idx++
+		e.step()
+	})
+}

@@ -1,0 +1,123 @@
+package exec
+
+import (
+	"activego/internal/lang/interp"
+	"activego/internal/sim"
+)
+
+// runRecord bills one dynamic line on the given unit and calls done when
+// its last event completes. The phases run strictly in sequence, the way
+// a single program thread experiences them: pull remote operands, read
+// storage, compute, then (on the CSD) emit the status update.
+func (e *executor) runRecord(rec *interp.LineRecord, unit Unit, done func()) {
+	e.pullRemoteReads(rec, unit, func() {
+		e.readStorage(rec, unit, func() {
+			e.compute(rec, unit, func() {
+				if unit == UnitCSD {
+					// Status updates are fire-and-forget (§III-C-b): the
+					// line does not stall on the report landing.
+					e.p.Dev.SendStatus(nil)
+				}
+				done()
+			})
+		})
+	})
+}
+
+// pullRemoteReads moves any consumed variables that live on the other
+// side of the link. In the shared address space this is a remote access;
+// the executor models it with move semantics so repeated consumers pay
+// once.
+func (e *executor) pullRemoteReads(rec *interp.LineRecord, unit Unit, done func()) {
+	var bytes int64
+	for _, r := range rec.Reads {
+		st, ok := e.varHome[r.Name]
+		if !ok {
+			continue
+		}
+		if st.unit != unit {
+			bytes += st.bytes
+			st.unit = unit
+			e.varHome[r.Name] = st
+		}
+	}
+	if bytes == 0 {
+		done()
+		return
+	}
+	e.p.Topo.D2H.Transfer(float64(bytes), func(_, _ sim.Time) { done() })
+}
+
+// readStorage bills the line's data-access volume: the flash array always
+// pays; a host consumer additionally streams the data across the external
+// link — the DS_raw / BW_D2H term of Equation 1. The array read and the
+// link stream proceed in a pipeline (NVMe reads stream pages as they are
+// sensed), so the host path costs the *slower* of the two stages, not
+// their sum; both queues are still occupied for contention purposes.
+func (e *executor) readStorage(rec *interp.LineRecord, unit Unit, done func()) {
+	bytes := rec.Cost.StorageBytes
+	if bytes == 0 {
+		done()
+		return
+	}
+	if unit == UnitHost {
+		remaining := 2
+		dec := func(_, _ sim.Time) {
+			remaining--
+			if remaining == 0 {
+				done()
+			}
+		}
+		e.p.Dev.Array.Read(bytes, dec)
+		e.p.Topo.D2H.Transfer(float64(bytes), dec)
+		return
+	}
+	e.p.Dev.Array.Read(bytes, func(_, _ sim.Time) { done() })
+}
+
+// compute bills kernel work (data-parallel across the unit's cores),
+// surviving glue (serial), and wrapper copies (memory bus), in sequence.
+func (e *executor) compute(rec *interp.LineRecord, unit Unit, done func()) {
+	res := e.p.Host.CPU
+	mem := e.p.Topo.HostMem
+	if unit == UnitCSD {
+		res = e.p.Dev.CSE
+		mem = e.p.Topo.DevMem
+	}
+	b := e.opts.Backend
+
+	kernelDone := func() {
+		glue := b.GlueFactor * rec.Cost.GlueWork
+		glueDone := func() {
+			if !b.CopyElim && rec.Cost.CopyBytes > 0 {
+				mem.Transfer(float64(rec.Cost.CopyBytes), func(_, _ sim.Time) { done() })
+				return
+			}
+			done()
+		}
+		if glue <= 0 {
+			glueDone()
+			return
+		}
+		res.Submit(glue, func(_, _ sim.Time) { glueDone() })
+	}
+
+	work := rec.Cost.KernelWork
+	if work <= 0 {
+		kernelDone()
+		return
+	}
+	// Data-parallel: split across the unit's cores, complete when the
+	// slowest shard finishes.
+	cores := res.Cores()
+	remaining := cores
+	shard := work / float64(cores)
+	for i := 0; i < cores; i++ {
+		res.Submit(shard, func(_, _ sim.Time) {
+			remaining--
+			if remaining == 0 {
+				kernelDone()
+			}
+		})
+	}
+}

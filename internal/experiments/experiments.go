@@ -1,0 +1,147 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V): Table I's application catalog, Figure 2's availability
+// sweep of static C ISP, Figure 4's ActivePy-vs-programmer-directed
+// comparison, Figure 5's migration study, the §V prediction-accuracy
+// numbers, and the §V language-runtime optimization ladder.
+//
+// Each harness returns structured results plus a report.Table with the
+// same rows the paper's figure plots; cmd/benchsuite prints them and
+// bench_test.go wraps them as testing.B benchmarks. Absolute numbers
+// differ from the paper (its substrate was real silicon; ours is the
+// simulator at 1/ScaleDiv of Table I's input sizes) — the shape is the
+// reproduction target, and EXPERIMENTS.md records paper-vs-measured for
+// every row.
+package experiments
+
+import (
+	"fmt"
+
+	"activego/internal/baseline"
+	"activego/internal/codegen"
+	"activego/internal/core"
+	"activego/internal/exec"
+	"activego/internal/lang/interp"
+	"activego/internal/plan"
+	"activego/internal/platform"
+	"activego/internal/profile"
+	"activego/internal/workloads"
+)
+
+// Workbench holds everything computed once per workload and shared by
+// the experiments: the instance, its full-scale trace (real values), the
+// measured baseline, the exhaustively tuned static partition, and the
+// ActivePy analysis.
+type Workbench struct {
+	Spec     workloads.Spec
+	Inst     *workloads.Instance
+	Params   workloads.Params
+	Trace    *interp.Trace
+	Env      *interp.Env
+	Profile  *profile.Report
+	Plan     *plan.Result
+	Machine  plan.Machine
+	Baseline float64 // no-ISP C baseline duration, seconds
+
+	StaticPart codegen.Partition // exhaustive programmer-directed optimum
+	StaticTime float64
+}
+
+// Prepare builds the workbench for one workload.
+func Prepare(spec workloads.Spec, params workloads.Params) (*Workbench, error) {
+	inst := spec.Build(params)
+	rt := core.New(platform.Default())
+	rt.SampleScales = profile.ScaledScales // instances are pre-scaled; see profile.ScaledScales
+	rt.PreloadInputs(inst.Registry)
+
+	prog, rep, planRes, err := rt.Analyze(inst.Source, inst.Registry)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: analyze: %w", spec.Name, err)
+	}
+	ctx := inst.Registry.Context(1)
+	trace, env, err := interp.Run(prog, ctx)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: trace: %w", spec.Name, err)
+	}
+	if err := inst.Check(env); err != nil {
+		return nil, fmt.Errorf("experiments: %s: correctness: %w", spec.Name, err)
+	}
+
+	base, err := baseline.RunHostOnly(platform.Default(), trace, codegen.C)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: baseline: %w", spec.Name, err)
+	}
+	part, bestT, err := baseline.Search(platform.DefaultConfig(), trace)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: search: %w", spec.Name, err)
+	}
+	return &Workbench{
+		Spec:       spec,
+		Inst:       inst,
+		Params:     params,
+		Trace:      trace,
+		Env:        env,
+		Profile:    rep,
+		Plan:       planRes,
+		Machine:    rt.Machine,
+		Baseline:   base.Duration,
+		StaticPart: part,
+		StaticTime: bestT,
+	}, nil
+}
+
+// RunActivePy executes the workbench's trace under the full ActivePy
+// configuration on a fresh platform whose CSE availability is set by
+// prepare (nil = leave at 1) and returns the exec result.
+func (wb *Workbench) RunActivePy(migration bool, prepare func(p *platform.Platform)) (*exec.Result, error) {
+	p := platform.Default()
+	if prepare != nil {
+		prepare(p)
+	}
+	mig := exec.MigrationPolicy{}
+	if migration {
+		mig = exec.DefaultMigration()
+	}
+	return exec.Run(p, wb.Trace, exec.Options{
+		Backend:          codegen.Native,
+		Partition:        wb.Plan.Partition,
+		Estimates:        wb.Plan.ByLine(),
+		Migration:        mig,
+		SamplingOverhead: core.SamplingOverhead,
+		OverheadScale:    wb.Params.OverheadScale(),
+		UseCallQueue:     true,
+	})
+}
+
+// RunStatic executes the programmer-directed static partition under
+// backend C (no migration, no sampling) on a fresh prepared platform.
+func (wb *Workbench) RunStatic(prepare func(p *platform.Platform)) (*exec.Result, error) {
+	p := platform.Default()
+	if prepare != nil {
+		prepare(p)
+	}
+	return baseline.RunStatic(p, wb.Trace, wb.StaticPart, codegen.C)
+}
+
+// RunBackend executes the trace host-only under an arbitrary backend
+// (the runtime-optimization ladder).
+func (wb *Workbench) RunBackend(b codegen.Backend) (*exec.Result, error) {
+	p := platform.Default()
+	return exec.Run(p, wb.Trace, exec.Options{
+		Backend:       b,
+		Partition:     codegen.NewPartition(),
+		OverheadScale: wb.Params.OverheadScale(),
+	})
+}
+
+// PrepareAll prepares workbenches for the given specs.
+func PrepareAll(specs []workloads.Spec, params workloads.Params) ([]*Workbench, error) {
+	out := make([]*Workbench, 0, len(specs))
+	for _, s := range specs {
+		wb, err := Prepare(s, params)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, wb)
+	}
+	return out, nil
+}

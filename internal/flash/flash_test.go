@@ -1,0 +1,185 @@
+package flash
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"activego/internal/sim"
+)
+
+func TestDefaultGeometryMatchesPaper(t *testing.T) {
+	g := DefaultGeometry()
+	// §IV-A: 2 TB flash, ~9 GB/s effective internal read bandwidth.
+	if got := g.TotalBytes(); got != 2<<40 {
+		t.Errorf("capacity %d, want 2 TiB", got)
+	}
+	bw := g.EffectiveReadBW()
+	if bw < 8.5e9 || bw > 9.5e9 {
+		t.Errorf("effective read bandwidth %.2f GB/s, want ~9", bw/1e9)
+	}
+}
+
+func TestArraySustainedReadBandwidth(t *testing.T) {
+	s := sim.New()
+	a := NewArray(s, DefaultGeometry())
+	const bytes = 256 << 20
+	var dur float64
+	a.Read(bytes, func(st, en sim.Time) { dur = en - st })
+	s.Run()
+	eff := float64(bytes) / dur
+	want := a.Geometry().EffectiveReadBW()
+	if eff < want*0.95 || eff > want*1.05 {
+		t.Errorf("sustained read %.2f GB/s, want ~%.2f", eff/1e9, want/1e9)
+	}
+}
+
+func TestArrayReadsQueuePerChannel(t *testing.T) {
+	s := sim.New()
+	a := NewArray(s, DefaultGeometry())
+	var end1, end2 sim.Time
+	a.Read(64<<20, func(_, en sim.Time) { end1 = en })
+	a.Read(64<<20, func(_, en sim.Time) { end2 = en })
+	s.Run()
+	if end2 <= end1 {
+		t.Errorf("second read (%v) must finish after the first (%v): channels are shared", end2, end1)
+	}
+	if end2 < end1*1.9 {
+		t.Errorf("second read %v should take about twice the first %v (full channel overlap)", end2, end1)
+	}
+}
+
+func TestArrayAvailabilitySlowsReads(t *testing.T) {
+	s := sim.New()
+	a := NewArray(s, DefaultGeometry())
+	var base float64
+	a.Read(64<<20, func(st, en sim.Time) { base = en - st })
+	s.Run()
+
+	a.SetAvailability(0.5)
+	var slow float64
+	a.Read(64<<20, func(st, en sim.Time) { slow = en - st })
+	s.Run()
+	if slow < base*1.8 || slow > base*2.2 {
+		t.Errorf("read at 50%% availability took %vx the baseline, want ~2x", slow/base)
+	}
+}
+
+func TestReadTimeMatchesMeasured(t *testing.T) {
+	s := sim.New()
+	a := NewArray(s, DefaultGeometry())
+	const bytes = 32 << 20
+	est := a.ReadTime(bytes)
+	var got float64
+	a.Read(bytes, func(st, en sim.Time) { got = en - st })
+	s.Run()
+	if got < est*0.99 || got > est*1.01 {
+		t.Errorf("measured %v vs estimate %v", got, est)
+	}
+}
+
+func TestProgramSlowerThanRead(t *testing.T) {
+	g := DefaultGeometry()
+	if g.EffectiveProgBW() >= g.EffectiveReadBW() {
+		t.Errorf("program bandwidth %.2f must be below read %.2f (tProg >> tR)",
+			g.EffectiveProgBW()/1e9, g.EffectiveReadBW()/1e9)
+	}
+}
+
+func smallGeometry() Geometry {
+	g := DefaultGeometry()
+	g.Blocks = 32
+	g.PagesPerBlk = 8
+	return g
+}
+
+func TestFTLMapsAndRemaps(t *testing.T) {
+	s := sim.New()
+	a := NewArray(s, smallGeometry())
+	f := NewFTL(s, a)
+	p1 := f.WritePage(7)
+	p2 := f.WritePage(7) // overwrite remaps
+	if p1 == p2 {
+		t.Error("overwrite must map to a fresh physical page")
+	}
+	got, ok := f.Lookup(7)
+	if !ok || got != p2 {
+		t.Errorf("lookup = %d,%v; want %d", got, ok, p2)
+	}
+	if f.MappedPages() != 1 {
+		t.Errorf("mapped pages %d, want 1", f.MappedPages())
+	}
+}
+
+func TestFTLTrim(t *testing.T) {
+	s := sim.New()
+	f := NewFTL(s, NewArray(s, smallGeometry()))
+	f.WritePage(1)
+	f.Trim(1)
+	if _, ok := f.Lookup(1); ok {
+		t.Error("trimmed page still mapped")
+	}
+	f.Trim(99) // trimming unmapped pages is a no-op
+}
+
+func TestFTLGarbageCollection(t *testing.T) {
+	s := sim.New()
+	f := NewFTL(s, NewArray(s, smallGeometry()))
+	// Hammer a small logical range so blocks fill with dead pages and GC
+	// must reclaim.
+	for i := 0; i < 2000; i++ {
+		f.WritePage(int64(i % 8))
+	}
+	s.Run()
+	gcRuns, moved, free := f.Stats()
+	if gcRuns == 0 {
+		t.Fatal("GC never ran despite heavy overwrites")
+	}
+	if free == 0 {
+		t.Error("no free blocks after GC")
+	}
+	t.Logf("gc runs=%d moved=%d free=%d", gcRuns, moved, free)
+	// All 8 logical pages must still resolve.
+	for lp := int64(0); lp < 8; lp++ {
+		if _, ok := f.Lookup(lp); !ok {
+			t.Errorf("logical page %d lost across GC", lp)
+		}
+	}
+}
+
+// TestFTLMappingUnique is a property test: after any write sequence, no
+// two live logical pages share a physical page.
+func TestFTLMappingUnique(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := sim.New()
+		ftl := NewFTL(s, NewArray(s, smallGeometry()))
+		live := map[int64]bool{}
+		for i := 0; i < 300; i++ {
+			lp := int64(rng.Intn(16))
+			if rng.Intn(5) == 0 {
+				ftl.Trim(lp)
+				delete(live, lp)
+			} else {
+				ftl.WritePage(lp)
+				live[lp] = true
+			}
+		}
+		s.Run()
+		seen := map[int64]int64{}
+		for lp := range live {
+			pp, ok := ftl.Lookup(lp)
+			if !ok {
+				return false
+			}
+			if other, dup := seen[pp]; dup && other != lp {
+				return false
+			}
+			seen[pp] = lp
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,66 @@
+// Package host models the host computer: a conventional multicore CPU
+// that reaches storage only through the system interconnect. Mirrors the
+// paper's platform (§IV-A): an octa-core desktop CPU whose cores are
+// individually faster than the CSD's, but which must pull every raw byte
+// across the 5 GB/s link before it can compute on it.
+package host
+
+import (
+	"activego/internal/csd"
+	"activego/internal/interconnect"
+	"activego/internal/nvme"
+	"activego/internal/sim"
+)
+
+// Config sets the host's compute constants.
+type Config struct {
+	Cores     int
+	Rate      float64 // work units/second/core
+	DRAMBytes int64
+}
+
+// DefaultConfig mirrors the Ryzen 7 3700X-class host of §IV-A.
+func DefaultConfig() Config {
+	return Config{Cores: 8, Rate: 3.6e9, DRAMBytes: 32 << 30}
+}
+
+// Host is the live host model.
+type Host struct {
+	Sim  *sim.Sim
+	Cfg  Config
+	CPU  *sim.Resource
+	Topo *interconnect.Topology
+}
+
+// New builds a host on simulator s attached via topo.
+func New(s *sim.Sim, topo *interconnect.Topology, cfg Config) *Host {
+	return &Host{
+		Sim:  s,
+		Cfg:  cfg,
+		CPU:  sim.NewResource(s, "hostcpu", cfg.Cores, cfg.Rate),
+		Topo: topo,
+	}
+}
+
+// ReadObject pulls [offset, offset+bytes) of a device-resident object into
+// host DRAM: an NVMe read command through the device's queue pair. done
+// receives the completion.
+func (h *Host) ReadObject(dev *csd.Device, object string, offset, bytes int64, done func(nvme.Completion)) {
+	dev.QP.Submit(nvme.Command{Opcode: nvme.OpRead, Object: object, Offset: offset, Bytes: bytes}, done)
+}
+
+// WriteObject pushes bytes into a device-resident object.
+func (h *Host) WriteObject(dev *csd.Device, object string, offset, bytes int64, done func(nvme.Completion)) {
+	dev.QP.Submit(nvme.Command{Opcode: nvme.OpWrite, Object: object, Offset: offset, Bytes: bytes}, done)
+}
+
+// Call invokes a CSD function through the call queue (§III-C-b).
+func (h *Host) Call(dev *csd.Device, fn csd.Call, done func(nvme.Completion)) {
+	dev.QP.Submit(nvme.Command{Opcode: nvme.OpCall, Payload: fn}, done)
+}
+
+// Preempt asks the device to stop offloaded work at the next line
+// boundary (§III-D).
+func (h *Host) Preempt(dev *csd.Device, done func(nvme.Completion)) {
+	dev.QP.Submit(nvme.Command{Opcode: nvme.OpPreempt}, done)
+}

@@ -1,0 +1,228 @@
+// Package ast defines the abstract syntax tree of the activego
+// mini-language. The tree is deliberately line-oriented: ActivePy's unit
+// of offload is one source line (§III-B of the paper), so every statement
+// carries its 1-based source line number.
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is any AST node.
+type Node interface {
+	String() string
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	// Line returns the statement's 1-based source line.
+	Line() int
+	stmtNode()
+}
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Program is a parsed source file.
+type Program struct {
+	Stmts  []Stmt
+	Source string // original text, for diagnostics
+}
+
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, s := range p.Stmts {
+		sb.WriteString(s.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// MaxLine returns the largest source line in the program.
+func (p *Program) MaxLine() int {
+	max := 0
+	var walk func(stmts []Stmt)
+	walk = func(stmts []Stmt) {
+		for _, s := range stmts {
+			if s.Line() > max {
+				max = s.Line()
+			}
+			switch st := s.(type) {
+			case *For:
+				walk(st.Body)
+			case *If:
+				walk(st.Then)
+				walk(st.Else)
+			}
+		}
+	}
+	walk(p.Stmts)
+	return max
+}
+
+// ---- Statements ----
+
+// Assign is `name = expr` or an augmented form (`name += expr`).
+type Assign struct {
+	Ln    int
+	Name  string
+	AugOp string // "", "+", "-", "*", "/"
+	Value Expr
+}
+
+func (a *Assign) Line() int { return a.Ln }
+func (a *Assign) stmtNode() {}
+func (a *Assign) String() string {
+	if a.AugOp != "" {
+		return fmt.Sprintf("%s %s= %s", a.Name, a.AugOp, a.Value)
+	}
+	return fmt.Sprintf("%s = %s", a.Name, a.Value)
+}
+
+// ExprStmt is a bare expression evaluated for effect.
+type ExprStmt struct {
+	Ln   int
+	Expr Expr
+}
+
+func (e *ExprStmt) Line() int      { return e.Ln }
+func (e *ExprStmt) stmtNode()      {}
+func (e *ExprStmt) String() string { return e.Expr.String() }
+
+// For is `for name in range(args...): body`.
+type For struct {
+	Ln    int
+	Var   string
+	Range []Expr // 1..3 range arguments
+	Body  []Stmt
+}
+
+func (f *For) Line() int { return f.Ln }
+func (f *For) stmtNode() {}
+func (f *For) String() string {
+	args := make([]string, len(f.Range))
+	for i, a := range f.Range {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("for %s in range(%s): <%d stmts>", f.Var, strings.Join(args, ", "), len(f.Body))
+}
+
+// If is a conditional with optional elif/else chain (elifs are nested Ifs
+// in Else).
+type If struct {
+	Ln   int
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+func (i *If) Line() int { return i.Ln }
+func (i *If) stmtNode() {}
+func (i *If) String() string {
+	return fmt.Sprintf("if %s: <%d/%d stmts>", i.Cond, len(i.Then), len(i.Else))
+}
+
+// Pass is a no-op statement.
+type Pass struct{ Ln int }
+
+func (p *Pass) Line() int      { return p.Ln }
+func (p *Pass) stmtNode()      {}
+func (p *Pass) String() string { return "pass" }
+
+// Break exits the innermost loop.
+type Break struct{ Ln int }
+
+func (b *Break) Line() int      { return b.Ln }
+func (b *Break) stmtNode()      {}
+func (b *Break) String() string { return "break" }
+
+// ---- Expressions ----
+
+// IntLit is an integer literal.
+type IntLit struct{ Value int64 }
+
+func (IntLit) exprNode()        {}
+func (i IntLit) String() string { return fmt.Sprintf("%d", i.Value) }
+
+// FloatLit is a float literal.
+type FloatLit struct{ Value float64 }
+
+func (FloatLit) exprNode()        {}
+func (f FloatLit) String() string { return fmt.Sprintf("%g", f.Value) }
+
+// StrLit is a string literal.
+type StrLit struct{ Value string }
+
+func (StrLit) exprNode()        {}
+func (s StrLit) String() string { return fmt.Sprintf("%q", s.Value) }
+
+// BoolLit is True/False.
+type BoolLit struct{ Value bool }
+
+func (BoolLit) exprNode() {}
+func (b BoolLit) String() string {
+	if b.Value {
+		return "True"
+	}
+	return "False"
+}
+
+// NoneLit is None.
+type NoneLit struct{}
+
+func (NoneLit) exprNode()      {}
+func (NoneLit) String() string { return "None" }
+
+// Name is a variable reference.
+type Name struct{ Ident string }
+
+func (Name) exprNode()        {}
+func (n Name) String() string { return n.Ident }
+
+// BinOp is a binary operation: arithmetic, comparison, or boolean.
+type BinOp struct {
+	Op    string // "+", "-", "*", "/", "//", "%", "**", "==", "!=", "<", "<=", ">", ">=", "and", "or"
+	Left  Expr
+	Right Expr
+}
+
+func (BinOp) exprNode()        {}
+func (b BinOp) String() string { return fmt.Sprintf("(%s %s %s)", b.Left, b.Op, b.Right) }
+
+// UnaryOp is negation or `not`.
+type UnaryOp struct {
+	Op string // "-", "not"
+	X  Expr
+}
+
+func (UnaryOp) exprNode()        {}
+func (u UnaryOp) String() string { return fmt.Sprintf("(%s %s)", u.Op, u.X) }
+
+// Call is a builtin invocation.
+type Call struct {
+	Func string
+	Args []Expr
+}
+
+func (Call) exprNode() {}
+func (c Call) String() string {
+	args := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", c.Func, strings.Join(args, ", "))
+}
+
+// Index is `obj[idx]`.
+type Index struct {
+	X   Expr
+	Idx Expr
+}
+
+func (Index) exprNode()        {}
+func (i Index) String() string { return fmt.Sprintf("%s[%s]", i.X, i.Idx) }

@@ -1,0 +1,56 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringRendering(t *testing.T) {
+	assign := &Assign{Ln: 1, Name: "x", Value: &BinOp{Op: "+", Left: IntLit{Value: 1}, Right: Name{Ident: "y"}}}
+	if got := assign.String(); got != "x = (1 + y)" {
+		t.Errorf("assign: %q", got)
+	}
+	aug := &Assign{Ln: 1, Name: "x", AugOp: "+", Value: IntLit{Value: 2}}
+	if got := aug.String(); got != "x += 2" {
+		t.Errorf("aug: %q", got)
+	}
+	call := &Call{Func: "f", Args: []Expr{StrLit{Value: "a"}, FloatLit{Value: 1.5}}}
+	if got := call.String(); got != `f("a", 1.5)` {
+		t.Errorf("call: %q", got)
+	}
+	idx := &Index{X: Name{Ident: "v"}, Idx: IntLit{Value: 3}}
+	if got := idx.String(); got != "v[3]" {
+		t.Errorf("index: %q", got)
+	}
+}
+
+func TestProgramStringAndMaxLine(t *testing.T) {
+	p := &Program{Stmts: []Stmt{
+		&Assign{Ln: 1, Name: "a", Value: IntLit{Value: 1}},
+		&For{Ln: 2, Var: "i", Range: []Expr{IntLit{Value: 3}}, Body: []Stmt{
+			&If{Ln: 3, Cond: BoolLit{Value: true}, Then: []Stmt{
+				&Assign{Ln: 4, Name: "b", Value: NoneLit{}},
+			}},
+		}},
+	}}
+	if got := p.MaxLine(); got != 4 {
+		t.Errorf("MaxLine %d", got)
+	}
+	if !strings.Contains(p.String(), "for i in range(3)") {
+		t.Errorf("program string:\n%s", p.String())
+	}
+}
+
+func TestLineAccessors(t *testing.T) {
+	stmts := []Stmt{
+		&Assign{Ln: 7},
+		&ExprStmt{Ln: 8},
+		&Pass{Ln: 9},
+		&Break{Ln: 10},
+	}
+	for i, want := range []int{7, 8, 9, 10} {
+		if stmts[i].Line() != want {
+			t.Errorf("stmt %d line %d", i, stmts[i].Line())
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package builtins
+
+import (
+	"fmt"
+
+	"activego/internal/lang/value"
+)
+
+// rowBlock slices the i-th of n contiguous row-blocks out of a value.
+// Blocks partition the rows exactly: block i covers [i*rows/n, (i+1)*rows/n).
+func rowBlock(v value.Value, i, n int) (value.Value, error) {
+	bounds := func(rows int) (int, int) {
+		lo := i * rows / n
+		hi := (i + 1) * rows / n
+		return lo, hi
+	}
+	switch x := v.(type) {
+	case *value.Vec:
+		lo, hi := bounds(x.Len())
+		return value.NewVec(x.Data[lo:hi]), nil
+	case *value.IVec:
+		lo, hi := bounds(x.Len())
+		return value.NewIVec(x.Data[lo:hi]), nil
+	case *value.Mat:
+		lo, hi := bounds(x.Rows)
+		return &value.Mat{Rows: hi - lo, Cols: x.Cols, Data: x.Data[lo*x.Cols : hi*x.Cols]}, nil
+	case *value.Table:
+		lo, hi := bounds(x.NRows)
+		cols := make([]value.Value, len(x.Cols))
+		for ci, c := range x.Cols {
+			switch cv := c.(type) {
+			case *value.Vec:
+				cols[ci] = value.NewVec(cv.Data[lo:hi])
+			case *value.IVec:
+				cols[ci] = value.NewIVec(cv.Data[lo:hi])
+			}
+		}
+		return value.NewTable(append([]string(nil), x.Names...), cols), nil
+	}
+	return nil, fmt.Errorf("cannot take a row block of %v", v.Kind())
+}

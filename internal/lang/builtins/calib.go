@@ -1,0 +1,53 @@
+package builtins
+
+import "activego/internal/lang/value"
+
+// Glue intensities: interpreter-level overhead in work units per element,
+// by kernel class. They are the knobs behind the paper's language-runtime
+// ladder (§V): the interpreted backend pays the full glue, the
+// Cython-style backend a fraction of it, and ActivePy's native code none.
+// The classes reflect how much per-element Python-level activity a kernel
+// implies: a GEMM call amortizes one dispatch over n³ flops (tiny glue),
+// while a per-row decision-tree walk or filter predicate runs real Python
+// per element (large glue).
+const (
+	// GlueVector covers element-wise NumPy-style kernels: one dispatch, a
+	// little boxing at the edges.
+	GlueVector = 2.0
+	// GlueCompound covers formula kernels composed of several vector ops
+	// with intermediate temporaries (Black-Scholes terms, k-means update).
+	GlueCompound = 5.0
+	// GlueRowLogic covers kernels with genuine per-row interpreted logic:
+	// tree walks, hash probes, group-by keys, CSR construction.
+	GlueRowLogic = 14.0
+	// GlueDense covers dense linear algebra: glue per *output* element is
+	// negligible next to the O(n³) kernel.
+	GlueDense = 0.3
+)
+
+// copyFraction is the fraction of a kernel's touched byte streams that
+// unoptimized runtimes redundantly rematerialize at wrapper-call
+// boundaries (temporaries and conversions; §III-C-c eliminates them by
+// producing results directly into mutable destination memory). One half:
+// inputs are typically referenced in place, outputs and temporaries are
+// materialized once more than necessary.
+const copyFraction = 0.5
+
+// copyBytes applies copyFraction to a touched-byte count.
+func copyBytes(touched int64) int64 { return int64(float64(touched) * copyFraction) }
+
+// kcost assembles the standard Cost for a kernel invocation.
+//
+//	work:  algorithmic work units (data-parallel)
+//	elems: elements processed (drives glue)
+//	glue:  per-element glue intensity (one of the Glue* constants)
+//	bytes: input+output bytes the kernel touches (copy overhead is a
+//	       copyFraction of these)
+func kcost(work float64, elems int64, glue float64, bytes int64) value.Cost {
+	return value.Cost{
+		KernelWork: work,
+		GlueWork:   glue * float64(elems),
+		CopyBytes:  copyBytes(bytes),
+		Elements:   elems,
+	}
+}

@@ -1,0 +1,229 @@
+package builtins
+
+import (
+	"fmt"
+	"math"
+
+	"activego/internal/lang/value"
+)
+
+func init() {
+	// ---- Black-Scholes (the blackscholes workload) ----
+
+	// bs_d1(S, K, T, r, sigma) -> d1 vector. S and K are vecs, the rest
+	// may be vecs or scalars.
+	register("bs_d1", 5, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		s, err := argVec("bs_d1", args, 0)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		k, err := argVec("bs_d1", args, 1)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		t, err := argVec("bs_d1", args, 2)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		r, err := argFloat("bs_d1", args, 3)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		sig, err := argVec("bs_d1", args, 4)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		n := s.Len()
+		if k.Len() != n || t.Len() != n || sig.Len() != n {
+			return nil, value.Cost{}, fmt.Errorf("builtins: bs_d1 length mismatch")
+		}
+		out := make([]float64, n)
+		for i := 0; i < n; i++ {
+			v := sig.Data[i] * math.Sqrt(t.Data[i])
+			out[i] = (math.Log(s.Data[i]/k.Data[i]) + (r+0.5*sig.Data[i]*sig.Data[i])*t.Data[i]) / v
+		}
+		nn := int64(n)
+		return value.NewVec(out), kcost(18*float64(n), nn, GlueCompound, 5*nn*8), nil
+	})
+
+	// bs_price(S, K, T, r, cdf_d1, cdf_d2) -> call price vector.
+	register("bs_price", 6, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		s, err := argVec("bs_price", args, 0)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		k, err := argVec("bs_price", args, 1)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		t, err := argVec("bs_price", args, 2)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		r, err := argFloat("bs_price", args, 3)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		n1, err := argVec("bs_price", args, 4)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		n2, err := argVec("bs_price", args, 5)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		n := s.Len()
+		if k.Len() != n || t.Len() != n || n1.Len() != n || n2.Len() != n {
+			return nil, value.Cost{}, fmt.Errorf("builtins: bs_price length mismatch")
+		}
+		out := make([]float64, n)
+		for i := 0; i < n; i++ {
+			out[i] = s.Data[i]*n1.Data[i] - k.Data[i]*math.Exp(-r*t.Data[i])*n2.Data[i]
+		}
+		nn := int64(n)
+		return value.NewVec(out), kcost(10*float64(n), nn, GlueCompound, 6*nn*8), nil
+	})
+
+	// ---- KMeans ----
+
+	// kmeans_assign(points, centroids) -> ivec of nearest-centroid labels.
+	// points: n×d Mat, centroids: k×d Mat. O(n·k·d): KMeans' hot loop and
+	// the reason Table I's KMeans is the longest-running baseline.
+	register("kmeans_assign", 2, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		pts, err := argMat("kmeans_assign", args, 0)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		cts, err := argMat("kmeans_assign", args, 1)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		if pts.Cols != cts.Cols {
+			return nil, value.Cost{}, fmt.Errorf("builtins: kmeans_assign dims %d vs %d", pts.Cols, cts.Cols)
+		}
+		labels := make([]int64, pts.Rows)
+		for i := 0; i < pts.Rows; i++ {
+			best, bestD := int64(0), math.Inf(1)
+			prow := pts.Data[i*pts.Cols : (i+1)*pts.Cols]
+			for c := 0; c < cts.Rows; c++ {
+				crow := cts.Data[c*cts.Cols : (c+1)*cts.Cols]
+				var d float64
+				for j := range prow {
+					diff := prow[j] - crow[j]
+					d += diff * diff
+				}
+				if d < bestD {
+					bestD = d
+					best = int64(c)
+				}
+			}
+			labels[i] = best
+		}
+		n, k, d := int64(pts.Rows), int64(cts.Rows), int64(pts.Cols)
+		work := 3 * float64(n) * float64(k) * float64(d)
+		return value.NewIVec(labels), kcost(work, n, GlueCompound, (n*d+k*d+n)*8), nil
+	})
+
+	// kmeans_update(points, labels, k) -> new k×d centroid Mat.
+	register("kmeans_update", 3, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		pts, err := argMat("kmeans_update", args, 0)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		labels, err := argIVec("kmeans_update", args, 1)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		k, err := argInt("kmeans_update", args, 2)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		if labels.Len() != pts.Rows {
+			return nil, value.Cost{}, fmt.Errorf("builtins: kmeans_update labels %d vs points %d", labels.Len(), pts.Rows)
+		}
+		out := value.NewMat(int(k), pts.Cols)
+		counts := make([]int64, k)
+		for i := 0; i < pts.Rows; i++ {
+			c := labels.Data[i]
+			if c < 0 || c >= k {
+				return nil, value.Cost{}, fmt.Errorf("builtins: kmeans_update label %d out of range %d", c, k)
+			}
+			counts[c]++
+			prow := pts.Data[i*pts.Cols : (i+1)*pts.Cols]
+			orow := out.Data[int(c)*pts.Cols : (int(c)+1)*pts.Cols]
+			for j := range prow {
+				orow[j] += prow[j]
+			}
+		}
+		for c := int64(0); c < k; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			orow := out.Data[int(c)*pts.Cols : (int(c)+1)*pts.Cols]
+			inv := 1 / float64(counts[c])
+			for j := range orow {
+				orow[j] *= inv
+			}
+		}
+		n, d := int64(pts.Rows), int64(pts.Cols)
+		return out, kcost(2*float64(n)*float64(d), n, GlueCompound, (n*d+n+k*d)*8), nil
+	})
+
+	// ---- LightGBM-style GBDT inference ----
+
+	// gbdt_predict(model, features) -> prediction vec. features: n×d Mat.
+	// The tree walk is per-row interpreted logic (high glue), and the
+	// output is one float per row — a large data reduction, which is why
+	// the paper's LightGBM benefits from ISP.
+	register("gbdt_predict", 2, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		model, err := argModel("gbdt_predict", args, 0)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		feats, err := argMat("gbdt_predict", args, 1)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		if feats.Cols < model.Features {
+			return nil, value.Cost{}, fmt.Errorf("builtins: gbdt_predict needs %d features, matrix has %d", model.Features, feats.Cols)
+		}
+		out := make([]float64, feats.Rows)
+		var steps int64
+		for i := 0; i < feats.Rows; i++ {
+			row := feats.Data[i*feats.Cols : (i+1)*feats.Cols]
+			var score float64
+			for _, tree := range model.Trees {
+				node := int32(0)
+				for tree[node].Feature >= 0 {
+					n := tree[node]
+					if row[n.Feature] <= n.Thresh {
+						node = n.Left
+					} else {
+						node = n.Right
+					}
+					steps++
+				}
+				score += tree[node].Value
+			}
+			out[i] = score
+		}
+		n := int64(feats.Rows)
+		work := 4 * float64(steps)
+		// Glue is per row, not per tree step: the interpreter dispatches
+		// once per row into a compiled tree library (the paper's workloads
+		// call optimized kernels, they don't walk trees in Python).
+		return value.NewVec(out), value.Cost{
+			KernelWork: work,
+			GlueWork:   GlueRowLogic * float64(n),
+			CopyBytes:  copyBytes((int64(len(feats.Data)) + n) * 8),
+			Elements:   n,
+		}, nil
+	})
+
+	// sigmoid(v): GBDT binary-classification epilogue.
+	register("sigmoid", 1, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		return unaryVec("sigmoid", args, 8, func(x float64) float64 {
+			return 1 / (1 + math.Exp(-x))
+		})
+	})
+}

@@ -1,0 +1,37 @@
+package builtins
+
+import (
+	"fmt"
+
+	"activego/internal/lang/value"
+)
+
+func init() {
+	// ncols(x) -> column count of a matrix, CSR, or table. Programs use
+	// it to derive dimension-compatible vectors (sampling shrinks matrix
+	// dimensions, so hard-coded sizes would break sample runs).
+	register("ncols", 1, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		switch x := args[0].(type) {
+		case *value.Mat:
+			return value.Int(x.Cols), value.Cost{}, nil
+		case *value.CSR:
+			return value.Int(x.Cols), value.Cost{}, nil
+		case *value.Table:
+			return value.Int(len(x.Cols)), value.Cost{}, nil
+		}
+		return nil, value.Cost{}, fmt.Errorf("builtins: ncols of %v", args[0].Kind())
+	})
+
+	// nrows(x) -> row count (alias of vlen for matrices/tables).
+	register("nrows", 1, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		switch x := args[0].(type) {
+		case *value.Mat:
+			return value.Int(x.Rows), value.Cost{}, nil
+		case *value.CSR:
+			return value.Int(x.Rows), value.Cost{}, nil
+		case *value.Table:
+			return value.Int(x.NRows), value.Cost{}, nil
+		}
+		return nil, value.Cost{}, fmt.Errorf("builtins: nrows of %v", args[0].Kind())
+	})
+}

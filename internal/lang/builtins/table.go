@@ -1,0 +1,414 @@
+package builtins
+
+import (
+	"fmt"
+
+	"activego/internal/lang/value"
+)
+
+// filterOps maps the op strings tfilter accepts.
+var filterOps = map[string]func(a, b float64) bool{
+	"<":  func(a, b float64) bool { return a < b },
+	"<=": func(a, b float64) bool { return a <= b },
+	">":  func(a, b float64) bool { return a > b },
+	">=": func(a, b float64) bool { return a >= b },
+	"==": func(a, b float64) bool { return a == b },
+	"!=": func(a, b float64) bool { return a != b },
+}
+
+func colFloat(c value.Value, i int) float64 {
+	switch x := c.(type) {
+	case *value.Vec:
+		return x.Data[i]
+	case *value.IVec:
+		return float64(x.Data[i])
+	}
+	panic("builtins: non-numeric table column")
+}
+
+// compressTable keeps the rows of t whose keep flag is set.
+func compressTable(t *value.Table, keep []bool, kept int) *value.Table {
+	cols := make([]value.Value, len(t.Cols))
+	for ci, c := range t.Cols {
+		switch x := c.(type) {
+		case *value.Vec:
+			out := make([]float64, 0, kept)
+			for i, k := range keep {
+				if k {
+					out = append(out, x.Data[i])
+				}
+			}
+			cols[ci] = value.NewVec(out)
+		case *value.IVec:
+			out := make([]int64, 0, kept)
+			for i, k := range keep {
+				if k {
+					out = append(out, x.Data[i])
+				}
+			}
+			cols[ci] = value.NewIVec(out)
+		}
+	}
+	return value.NewTable(append([]string(nil), t.Names...), cols)
+}
+
+// newQ1Partial assembles the Q1 partial-aggregate schema.
+func newQ1Partial(rf, ls []int64, sumQty, sumBase, sumDisc, sumCharge, sumDiscount []float64, counts []int64) *value.Table {
+	return value.NewTable(
+		[]string{"returnflag", "linestatus", "sum_qty", "sum_base_price", "sum_disc_price", "sum_charge", "sum_discount", "count"},
+		[]value.Value{
+			value.NewIVec(rf), value.NewIVec(ls),
+			value.NewVec(sumQty), value.NewVec(sumBase), value.NewVec(sumDisc),
+			value.NewVec(sumCharge), value.NewVec(sumDiscount), value.NewIVec(counts),
+		})
+}
+
+// sortedQ1Keys orders group keys by (returnflag, linestatus).
+func sortedQ1Keys[T any](m map[[2]int64]T) [][2]int64 {
+	keys := make([][2]int64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j][0] < keys[i][0] || (keys[j][0] == keys[i][0] && keys[j][1] < keys[i][1]) {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	return keys
+}
+
+func init() {
+	// tfilter(t, col, op, const) -> table of rows where col op const.
+	// The selective scan at the heart of TPC-H Q1/Q6/Q14; output volume
+	// is selectivity-dependent, the quantity ActivePy's sampling phase
+	// estimates (usually well — filters are statistically stable under
+	// row sampling, unlike CSR sparsity).
+	register("tfilter", 4, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		t, err := argTable("tfilter", args, 0)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		colName, err := argStr("tfilter", args, 1)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		opName, err := argStr("tfilter", args, 2)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		op, ok := filterOps[opName]
+		if !ok {
+			return nil, value.Cost{}, fmt.Errorf("builtins: tfilter unknown op %q", opName)
+		}
+		cv, ok := t.Col(colName)
+		if !ok {
+			return nil, value.Cost{}, fmt.Errorf("builtins: tfilter no column %q", colName)
+		}
+		c, err := argFloat("tfilter", args, 3)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		keep := make([]bool, t.NRows)
+		kept := 0
+		for i := 0; i < t.NRows; i++ {
+			if op(colFloat(cv, i), c) {
+				keep[i] = true
+				kept++
+			}
+		}
+		out := compressTable(t, keep, kept)
+		n := int64(t.NRows)
+		width := int64(len(t.Cols))
+		return out, value.Cost{
+			KernelWork: float64(n) * (1 + float64(width)*0.5),
+			GlueWork:   GlueRowLogic / 2 * float64(n),
+			CopyBytes:  copyBytes(t.SizeBytes() + out.SizeBytes()),
+			Elements:   n,
+		}, nil
+	})
+
+	// q1_agg(t) -> the TPC-H Q1 grouped aggregate: per (returnflag,
+	// linestatus) sums/averages of quantity, prices, discount. Output is
+	// a handful of rows — a massive reduction from a multi-GB scan.
+	register("q1_agg", 1, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		t, err := argTable("q1_agg", args, 0)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		rf := t.IntCol("l_returnflag")
+		ls := t.IntCol("l_linestatus")
+		qty := t.FloatCol("l_quantity")
+		price := t.FloatCol("l_extendedprice")
+		disc := t.FloatCol("l_discount")
+		tax := t.FloatCol("l_tax")
+
+		type group struct {
+			sumQty, sumBase, sumDisc, sumCharge, sumDiscount float64
+			count                                            int64
+		}
+		groups := map[[2]int64]*group{}
+		for i := 0; i < t.NRows; i++ {
+			key := [2]int64{rf.Data[i], ls.Data[i]}
+			g := groups[key]
+			if g == nil {
+				g = &group{}
+				groups[key] = g
+			}
+			discPrice := price.Data[i] * (1 - disc.Data[i])
+			g.sumQty += qty.Data[i]
+			g.sumBase += price.Data[i]
+			g.sumDisc += discPrice
+			g.sumCharge += discPrice * (1 + tax.Data[i])
+			g.sumDiscount += disc.Data[i]
+			g.count++
+		}
+		// Deterministic output order: by (returnflag, linestatus).
+		keys := sortedQ1Keys(groups)
+		nOut := len(keys)
+		outRF := make([]int64, nOut)
+		outLS := make([]int64, nOut)
+		sumQty := make([]float64, nOut)
+		sumBase := make([]float64, nOut)
+		sumDisc := make([]float64, nOut)
+		sumCharge := make([]float64, nOut)
+		sumDiscount := make([]float64, nOut)
+		counts := make([]int64, nOut)
+		for i, k := range keys {
+			g := groups[k]
+			outRF[i], outLS[i] = k[0], k[1]
+			sumQty[i], sumBase[i], sumDisc[i], sumCharge[i] = g.sumQty, g.sumBase, g.sumDisc, g.sumCharge
+			sumDiscount[i] = g.sumDiscount
+			counts[i] = g.count
+		}
+		out := newQ1Partial(outRF, outLS, sumQty, sumBase, sumDisc, sumCharge, sumDiscount, counts)
+		n := int64(t.NRows)
+		return out, value.Cost{
+			KernelWork: 10 * float64(n),
+			GlueWork:   GlueRowLogic * float64(n) / 2,
+			CopyBytes:  copyBytes(t.SizeBytes()),
+			Elements:   n,
+		}, nil
+	})
+
+	// q1_zero() -> an empty Q1 partial accumulator.
+	register("q1_zero", 0, func(_ Context, _ []value.Value) (value.Value, value.Cost, error) {
+		return newQ1Partial(nil, nil, nil, nil, nil, nil, nil, nil), value.Cost{}, nil
+	})
+
+	// q1_merge(a, b) -> merge two Q1 partial aggregates by group key,
+	// summing the running sums and counts. Block-streamed scans combine
+	// per-block partials with this.
+	register("q1_merge", 2, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		a, err := argTable("q1_merge", args, 0)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		b, err := argTable("q1_merge", args, 1)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		type acc struct {
+			s [5]float64
+			n int64
+		}
+		merged := map[[2]int64]*acc{}
+		absorb := func(t *value.Table) error {
+			if t.NRows == 0 {
+				return nil
+			}
+			rf := t.IntCol("returnflag")
+			ls := t.IntCol("linestatus")
+			cols := [5]*value.Vec{
+				t.FloatCol("sum_qty"), t.FloatCol("sum_base_price"),
+				t.FloatCol("sum_disc_price"), t.FloatCol("sum_charge"),
+				t.FloatCol("sum_discount"),
+			}
+			cnt := t.IntCol("count")
+			for i := 0; i < t.NRows; i++ {
+				key := [2]int64{rf.Data[i], ls.Data[i]}
+				g := merged[key]
+				if g == nil {
+					g = &acc{}
+					merged[key] = g
+				}
+				for ci := range cols {
+					g.s[ci] += cols[ci].Data[i]
+				}
+				g.n += cnt.Data[i]
+			}
+			return nil
+		}
+		if err := absorb(a); err != nil {
+			return nil, value.Cost{}, err
+		}
+		if err := absorb(b); err != nil {
+			return nil, value.Cost{}, err
+		}
+		keys := sortedQ1Keys(merged)
+		nOut := len(keys)
+		outRF := make([]int64, nOut)
+		outLS := make([]int64, nOut)
+		sums := [5][]float64{}
+		for i := range sums {
+			sums[i] = make([]float64, nOut)
+		}
+		counts := make([]int64, nOut)
+		for i, k := range keys {
+			g := merged[k]
+			outRF[i], outLS[i] = k[0], k[1]
+			for ci := range sums {
+				sums[ci][i] = g.s[ci]
+			}
+			counts[i] = g.n
+		}
+		out := newQ1Partial(outRF, outLS, sums[0], sums[1], sums[2], sums[3], sums[4], counts)
+		rows := int64(a.NRows + b.NRows)
+		return out, value.Cost{KernelWork: 12 * float64(rows), GlueWork: GlueCompound * float64(rows), Elements: rows}, nil
+	})
+
+	// q1_final(acc) -> the Q1 result: the partial's sums plus the derived
+	// averages (avg_qty, avg_price, avg_disc).
+	register("q1_final", 1, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		t, err := argTable("q1_final", args, 0)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		n := t.NRows
+		avgQty := make([]float64, n)
+		avgPrice := make([]float64, n)
+		avgDisc := make([]float64, n)
+		sumQty := t.FloatCol("sum_qty")
+		sumBase := t.FloatCol("sum_base_price")
+		sumDiscount := t.FloatCol("sum_discount")
+		cnt := t.IntCol("count")
+		for i := 0; i < n; i++ {
+			c := float64(cnt.Data[i])
+			if c == 0 {
+				continue
+			}
+			avgQty[i] = sumQty.Data[i] / c
+			avgPrice[i] = sumBase.Data[i] / c
+			avgDisc[i] = sumDiscount.Data[i] / c
+		}
+		names := append(append([]string(nil), t.Names...), "avg_qty", "avg_price", "avg_disc")
+		cols := append(append([]value.Value(nil), t.Cols...),
+			value.NewVec(avgQty), value.NewVec(avgPrice), value.NewVec(avgDisc))
+		return value.NewTable(names, cols), value.Cost{KernelWork: 6 * float64(n), Elements: int64(n)}, nil
+	})
+
+	// hashjoin(left, right, lkey, rkey) -> left's columns plus right's
+	// non-key columns for matching rows (inner join; right keys unique).
+	// TPC-H Q14's lineitem ⋈ part.
+	register("hashjoin", 4, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		left, err := argTable("hashjoin", args, 0)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		right, err := argTable("hashjoin", args, 1)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		lkey, err := argStr("hashjoin", args, 2)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		rkey, err := argStr("hashjoin", args, 3)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		lk := left.IntCol(lkey)
+		rk := right.IntCol(rkey)
+		// Build side: right.
+		build := make(map[int64]int, right.NRows)
+		for i, k := range rk.Data {
+			build[k] = i
+		}
+		matchL := make([]int, 0, left.NRows)
+		matchR := make([]int, 0, left.NRows)
+		for i, k := range lk.Data {
+			if ri, ok := build[k]; ok {
+				matchL = append(matchL, i)
+				matchR = append(matchR, ri)
+			}
+		}
+		names := append([]string(nil), left.Names...)
+		cols := make([]value.Value, 0, len(left.Cols)+len(right.Cols)-1)
+		gather := func(c value.Value, idx []int) value.Value {
+			switch x := c.(type) {
+			case *value.Vec:
+				out := make([]float64, len(idx))
+				for i, j := range idx {
+					out[i] = x.Data[j]
+				}
+				return value.NewVec(out)
+			case *value.IVec:
+				out := make([]int64, len(idx))
+				for i, j := range idx {
+					out[i] = x.Data[j]
+				}
+				return value.NewIVec(out)
+			}
+			panic("builtins: bad column kind in hashjoin")
+		}
+		for _, c := range left.Cols {
+			cols = append(cols, gather(c, matchL))
+		}
+		for ci, cname := range right.Names {
+			if cname == rkey {
+				continue
+			}
+			names = append(names, cname)
+			cols = append(cols, gather(right.Cols[ci], matchR))
+		}
+		out := value.NewTable(names, cols)
+		nl, nr := int64(left.NRows), int64(right.NRows)
+		return out, value.Cost{
+			KernelWork: 6*float64(nl) + 4*float64(nr),
+			GlueWork:   GlueRowLogic * float64(nl+nr) / 2,
+			CopyBytes:  copyBytes(left.SizeBytes() + right.SizeBytes() + out.SizeBytes()),
+			Elements:   nl + nr,
+		}, nil
+	})
+
+	// promo_share(t) -> TPC-H Q14 promo revenue percentage over a joined
+	// table carrying p_promo, l_extendedprice, l_discount.
+	register("promo_share", 1, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		t, err := argTable("promo_share", args, 0)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		promo := t.IntCol("p_promo")
+		price := t.FloatCol("l_extendedprice")
+		disc := t.FloatCol("l_discount")
+		var promoRev, totalRev float64
+		for i := 0; i < t.NRows; i++ {
+			rev := price.Data[i] * (1 - disc.Data[i])
+			totalRev += rev
+			if promo.Data[i] != 0 {
+				promoRev += rev
+			}
+		}
+		n := int64(t.NRows)
+		var share float64
+		if totalRev != 0 {
+			share = 100 * promoRev / totalRev
+		}
+		return value.Float(share), value.Cost{
+			KernelWork: 5 * float64(n),
+			GlueWork:   GlueCompound * float64(n),
+			CopyBytes:  copyBytes(3 * n * 8),
+			Elements:   n,
+		}, nil
+	})
+
+	// trows(t) -> row count (alias of vlen for readability in programs).
+	register("trows", 1, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		t, err := argTable("trows", args, 0)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		return value.Int(t.NRows), value.Cost{}, nil
+	})
+}

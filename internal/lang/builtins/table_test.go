@@ -1,0 +1,134 @@
+package builtins
+
+import (
+	"testing"
+
+	"activego/internal/lang/value"
+)
+
+func sampleLineitem() *value.Table {
+	return value.NewTable(
+		[]string{"l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice", "l_discount", "l_tax", "l_shipdate", "l_partkey"},
+		[]value.Value{
+			value.NewIVec([]int64{0, 1, 1, 2}),
+			value.NewIVec([]int64{0, 1, 1, 0}),
+			value.NewVec([]float64{10, 20, 30, 40}),
+			value.NewVec([]float64{100, 200, 300, 400}),
+			value.NewVec([]float64{0.1, 0.05, 0.0, 0.02}),
+			value.NewVec([]float64{0.01, 0.02, 0.03, 0.04}),
+			value.NewIVec([]int64{100, 200, 300, 400}),
+			value.NewIVec([]int64{0, 1, 0, 2}),
+		})
+}
+
+func TestTFilter(t *testing.T) {
+	tab := sampleLineitem()
+	v, c := call(t, "tfilter", tab, value.Str("l_quantity"), value.Str(">"), value.Float(15))
+	out := v.(*value.Table)
+	if out.NRows != 3 {
+		t.Fatalf("filtered rows %d, want 3", out.NRows)
+	}
+	if got := out.FloatCol("l_quantity").Data[0]; got != 20 {
+		t.Errorf("first kept row qty %v", got)
+	}
+	if c.Elements != 4 {
+		t.Errorf("elements %d", c.Elements)
+	}
+	// Filter on an int-coded column (shipdate).
+	v, _ = call(t, "tfilter", tab, value.Str("l_shipdate"), value.Str("<="), value.Float(200))
+	if v.(*value.Table).NRows != 2 {
+		t.Errorf("date filter rows %d", v.(*value.Table).NRows)
+	}
+	if _, _, err := Call(NewMapContext(), "tfilter", []value.Value{tab, value.Str("nope"), value.Str("<"), value.Float(1)}); err == nil {
+		t.Error("missing column must error")
+	}
+	if _, _, err := Call(NewMapContext(), "tfilter", []value.Value{tab, value.Str("l_quantity"), value.Str("~"), value.Float(1)}); err == nil {
+		t.Error("bad op must error")
+	}
+}
+
+func TestQ1AggMergeFinal(t *testing.T) {
+	tab := sampleLineitem()
+	pv, _ := call(t, "q1_agg", tab)
+	partial := pv.(*value.Table)
+	if partial.NRows != 3 { // groups (0,0) (1,1) (2,0)
+		t.Fatalf("groups %d, want 3", partial.NRows)
+	}
+	// Group (1,1) has rows 1 and 2: sum_qty = 50, count = 2.
+	sq := partial.FloatCol("sum_qty")
+	cnt := partial.IntCol("count")
+	if sq.Data[1] != 50 || cnt.Data[1] != 2 {
+		t.Errorf("group (1,1): qty %v count %d", sq.Data[1], cnt.Data[1])
+	}
+
+	// Merge with itself doubles every sum.
+	zv, _ := call(t, "q1_zero")
+	m1, _ := call(t, "q1_merge", zv, pv)
+	m2, _ := call(t, "q1_merge", m1, pv)
+	merged := m2.(*value.Table)
+	if merged.FloatCol("sum_qty").Data[1] != 100 || merged.IntCol("count").Data[1] != 4 {
+		t.Errorf("merge: qty %v count %d", merged.FloatCol("sum_qty").Data[1], merged.IntCol("count").Data[1])
+	}
+
+	fv, _ := call(t, "q1_final", pv)
+	final := fv.(*value.Table)
+	if got := final.FloatCol("avg_qty").Data[1]; got != 25 {
+		t.Errorf("avg_qty %v, want 25", got)
+	}
+	// disc price: 200*0.95 + 300*1.0 = 490
+	if got := final.FloatCol("sum_disc_price").Data[1]; got != 490 {
+		t.Errorf("sum_disc_price %v, want 490", got)
+	}
+}
+
+func TestHashJoin(t *testing.T) {
+	left := sampleLineitem()
+	right := value.NewTable(
+		[]string{"p_partkey", "p_promo"},
+		[]value.Value{value.NewIVec([]int64{0, 1}), value.NewIVec([]int64{1, 0})})
+	v, _ := call(t, "hashjoin", left, right, value.Str("l_partkey"), value.Str("p_partkey"))
+	j := v.(*value.Table)
+	// partkeys 0,1,0 match; partkey 2 does not.
+	if j.NRows != 3 {
+		t.Fatalf("join rows %d, want 3", j.NRows)
+	}
+	promo := j.IntCol("p_promo")
+	if promo.Data[0] != 1 || promo.Data[1] != 0 || promo.Data[2] != 1 {
+		t.Errorf("joined promo flags: %v", promo.Data)
+	}
+	if _, ok := j.Col("p_partkey"); ok {
+		t.Error("join must drop the duplicate key column")
+	}
+}
+
+func TestPromoShare(t *testing.T) {
+	tab := value.NewTable(
+		[]string{"p_promo", "l_extendedprice", "l_discount"},
+		[]value.Value{
+			value.NewIVec([]int64{1, 0}),
+			value.NewVec([]float64{100, 100}),
+			value.NewVec([]float64{0, 0}),
+		})
+	v, _ := call(t, "promo_share", tab)
+	if got := asFloat(t, v); got != 50 {
+		t.Errorf("promo share %v, want 50", got)
+	}
+}
+
+func TestTRows(t *testing.T) {
+	v, _ := call(t, "trows", sampleLineitem())
+	if int64(v.(value.Int)) != 4 {
+		t.Errorf("trows %v", v)
+	}
+}
+
+func TestColBuiltin(t *testing.T) {
+	tab := sampleLineitem()
+	v, _ := call(t, "col", tab, value.Str("l_quantity"))
+	if v.(*value.Vec).Data[3] != 40 {
+		t.Error("col extraction")
+	}
+	if _, _, err := Call(NewMapContext(), "col", []value.Value{tab, value.Str("zzz")}); err == nil {
+		t.Error("missing column must error")
+	}
+}

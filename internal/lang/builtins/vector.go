@@ -1,0 +1,258 @@
+package builtins
+
+import (
+	"fmt"
+	"math"
+
+	"activego/internal/lang/value"
+)
+
+// broadcastBinary applies op element-wise over two vecs, or a vec and a
+// scalar (either side).
+func broadcastBinary(name string, args []value.Value, work float64, op func(a, b float64) float64) (value.Value, value.Cost, error) {
+	av, aIsVec := args[0].(*value.Vec)
+	bv, bIsVec := args[1].(*value.Vec)
+	switch {
+	case aIsVec && bIsVec:
+		if av.Len() != bv.Len() {
+			return nil, value.Cost{}, fmt.Errorf("builtins: %s length mismatch %d vs %d", name, av.Len(), bv.Len())
+		}
+		out := make([]float64, av.Len())
+		for i := range out {
+			out[i] = op(av.Data[i], bv.Data[i])
+		}
+		n := int64(len(out))
+		return value.NewVec(out), kcost(work*float64(n), n, GlueVector, 3*n*8), nil
+	case aIsVec:
+		s, err := argFloat(name, args, 1)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		out := make([]float64, av.Len())
+		for i := range out {
+			out[i] = op(av.Data[i], s)
+		}
+		n := int64(len(out))
+		return value.NewVec(out), kcost(work*float64(n), n, GlueVector, 2*n*8), nil
+	case bIsVec:
+		s, err := argFloat(name, args, 0)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		out := make([]float64, bv.Len())
+		for i := range out {
+			out[i] = op(s, bv.Data[i])
+		}
+		n := int64(len(out))
+		return value.NewVec(out), kcost(work*float64(n), n, GlueVector, 2*n*8), nil
+	}
+	return nil, value.Cost{}, fmt.Errorf("builtins: %s needs at least one vec argument", name)
+}
+
+func unaryVec(name string, args []value.Value, work float64, op func(a float64) float64) (value.Value, value.Cost, error) {
+	v, err := argVec(name, args, 0)
+	if err != nil {
+		return nil, value.Cost{}, err
+	}
+	out := make([]float64, v.Len())
+	for i, x := range v.Data {
+		out[i] = op(x)
+	}
+	n := int64(len(out))
+	return value.NewVec(out), kcost(work*float64(n), n, GlueVector, 2*n*8), nil
+}
+
+func reduceVec(name string, args []value.Value, work float64, init float64, op func(acc, x float64) float64) (value.Value, value.Cost, error) {
+	v, err := argVec(name, args, 0)
+	if err != nil {
+		return nil, value.Cost{}, err
+	}
+	acc := init
+	for _, x := range v.Data {
+		acc = op(acc, x)
+	}
+	n := int64(v.Len())
+	return value.Float(acc), kcost(work*float64(n), n, GlueVector, n*8), nil
+}
+
+func init() {
+	register("vadd", 2, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		return broadcastBinary("vadd", args, 1, func(a, b float64) float64 { return a + b })
+	})
+	register("vsub", 2, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		return broadcastBinary("vsub", args, 1, func(a, b float64) float64 { return a - b })
+	})
+	register("vmul", 2, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		return broadcastBinary("vmul", args, 1, func(a, b float64) float64 { return a * b })
+	})
+	register("vdiv", 2, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		return broadcastBinary("vdiv", args, 1, func(a, b float64) float64 { return a / b })
+	})
+	register("vexp", 1, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		return unaryVec("vexp", args, 6, math.Exp)
+	})
+	register("vlog", 1, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		return unaryVec("vlog", args, 6, math.Log)
+	})
+	register("vsqrt", 1, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		return unaryVec("vsqrt", args, 3, math.Sqrt)
+	})
+	register("vabs", 1, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		return unaryVec("vabs", args, 1, math.Abs)
+	})
+	register("vneg", 1, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		return unaryVec("vneg", args, 1, func(a float64) float64 { return -a })
+	})
+	register("vsum", 1, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		return reduceVec("vsum", args, 1, 0, func(acc, x float64) float64 { return acc + x })
+	})
+	register("vmin", 1, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		return reduceVec("vmin", args, 1, math.Inf(1), math.Min)
+	})
+	register("vmax", 1, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		return reduceVec("vmax", args, 1, math.Inf(-1), math.Max)
+	})
+	register("vmean", 1, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		v, err := argVec("vmean", args, 0)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		if v.Len() == 0 {
+			return value.Float(0), value.Cost{}, nil
+		}
+		var acc float64
+		for _, x := range v.Data {
+			acc += x
+		}
+		n := int64(v.Len())
+		return value.Float(acc / float64(n)), kcost(float64(n), n, GlueVector, n*8), nil
+	})
+	register("vdot", 2, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		a, err := argVec("vdot", args, 0)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		b, err := argVec("vdot", args, 1)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		if a.Len() != b.Len() {
+			return nil, value.Cost{}, fmt.Errorf("builtins: vdot length mismatch %d vs %d", a.Len(), b.Len())
+		}
+		var acc float64
+		for i := range a.Data {
+			acc += a.Data[i] * b.Data[i]
+		}
+		n := int64(a.Len())
+		return value.Float(acc), kcost(2*float64(n), n, GlueVector, 2*n*8), nil
+	})
+	register("vlen", 1, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		switch x := args[0].(type) {
+		case *value.Vec:
+			return value.Int(x.Len()), value.Cost{}, nil
+		case *value.IVec:
+			return value.Int(x.Len()), value.Cost{}, nil
+		case *value.Table:
+			return value.Int(x.NRows), value.Cost{}, nil
+		case *value.Mat:
+			return value.Int(x.Rows), value.Cost{}, nil
+		case *value.CSR:
+			return value.Int(x.Rows), value.Cost{}, nil
+		}
+		return nil, value.Cost{}, fmt.Errorf("builtins: vlen of %v", args[0].Kind())
+	})
+	register("zeros", 1, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		n, err := argInt("zeros", args, 0)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		if n < 0 {
+			return nil, value.Cost{}, fmt.Errorf("builtins: zeros(%d)", n)
+		}
+		return value.NewVec(make([]float64, n)), kcost(float64(n), n, GlueVector, n*8), nil
+	})
+	register("full", 2, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		n, err := argInt("full", args, 0)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		fill, err := argFloat("full", args, 1)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = fill
+		}
+		return value.NewVec(out), kcost(float64(n), n, GlueVector, n*8), nil
+	})
+
+	// Comparison masks and compression: the building blocks of selective
+	// queries, where ISP's data reduction comes from.
+	cmp := func(name string, op func(a, b float64) bool) {
+		register(name, 2, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+			return broadcastBinary(name, args, 1, func(a, b float64) float64 {
+				if op(a, b) {
+					return 1
+				}
+				return 0
+			})
+		})
+	}
+	cmp("vgt", func(a, b float64) bool { return a > b })
+	cmp("vge", func(a, b float64) bool { return a >= b })
+	cmp("vlt", func(a, b float64) bool { return a < b })
+	cmp("vle", func(a, b float64) bool { return a <= b })
+	cmp("veq", func(a, b float64) bool { return a == b })
+
+	register("vand", 2, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		return broadcastBinary("vand", args, 1, func(a, b float64) float64 {
+			if a != 0 && b != 0 {
+				return 1
+			}
+			return 0
+		})
+	})
+
+	// vselect(v, mask) compresses v down to elements where mask != 0; the
+	// mask may be a float or integer vector. Output size is
+	// data-dependent: this is where sampling-phase prediction meets real
+	// selectivity.
+	register("vselect", 2, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		v, err := argVec("vselect", args, 0)
+		if err != nil {
+			return nil, value.Cost{}, err
+		}
+		var maskAt func(i int) bool
+		var mlen int
+		switch m := args[1].(type) {
+		case *value.Vec:
+			maskAt = func(i int) bool { return m.Data[i] != 0 }
+			mlen = m.Len()
+		case *value.IVec:
+			maskAt = func(i int) bool { return m.Data[i] != 0 }
+			mlen = m.Len()
+		default:
+			return nil, value.Cost{}, fmt.Errorf("builtins: vselect mask is %v, want vec or ivec", args[1].Kind())
+		}
+		if v.Len() != mlen {
+			return nil, value.Cost{}, fmt.Errorf("builtins: vselect length mismatch %d vs %d", v.Len(), mlen)
+		}
+		out := make([]float64, 0, v.Len()/4)
+		for i, x := range v.Data {
+			if maskAt(i) {
+				out = append(out, x)
+			}
+		}
+		n := int64(v.Len())
+		return value.NewVec(out), kcost(2*float64(n), n, GlueVector, (2*n+int64(len(out)))*8), nil
+	})
+
+	// norm_cdf: the cumulative normal via erf — the Black-Scholes
+	// workhorse; costed as a heavy transcendental.
+	register("norm_cdf", 1, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+		return unaryVec("norm_cdf", args, 12, func(x float64) float64 {
+			return 0.5 * math.Erfc(-x/math.Sqrt2)
+		})
+	})
+}

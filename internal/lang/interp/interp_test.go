@@ -1,0 +1,281 @@
+package interp
+
+import (
+	"math"
+	"testing"
+
+	"activego/internal/lang/builtins"
+	"activego/internal/lang/parser"
+	"activego/internal/lang/value"
+)
+
+func run(t *testing.T, src string, ctx builtins.Context) (*Trace, *Env) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if ctx == nil {
+		ctx = builtins.NewMapContext()
+	}
+	trace, env, err := Run(prog, ctx)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return trace, env
+}
+
+func envFloat(t *testing.T, env *Env, name string) float64 {
+	t.Helper()
+	v, ok := env.Get(name)
+	if !ok {
+		t.Fatalf("unbound %q", name)
+	}
+	f, err := value.AsFloat(v)
+	if err != nil {
+		t.Fatalf("%q: %v", name, err)
+	}
+	return f
+}
+
+func TestArithmetic(t *testing.T) {
+	_, env := run(t, `a = 2 + 3 * 4
+b = (2 + 3) * 4
+c = 7 // 2
+d = 7 % 3
+e = 2 ** 10
+f = -5 // 2
+g = 1.5 / 0.5
+`, nil)
+	cases := map[string]float64{"a": 14, "b": 20, "c": 3, "d": 1, "e": 1024, "f": -3, "g": 3}
+	for name, want := range cases {
+		if got := envFloat(t, env, name); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestComparisonAndBool(t *testing.T) {
+	_, env := run(t, `a = 1 < 2
+b = 2 <= 1
+c = 1 == 1 and 2 != 3
+d = False or not False
+e = "x" == "x"
+`, nil)
+	for name, want := range map[string]bool{"a": true, "b": false, "c": true, "d": true, "e": true} {
+		v, _ := env.Get(name)
+		if got := value.Truthy(v); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// vlen(missing) would error; `or` must not evaluate it.
+	_, env := run(t, "a = True or vlen(1)\n", nil)
+	if v, _ := env.Get("a"); !value.Truthy(v) {
+		t.Error("short-circuit or failed")
+	}
+}
+
+func TestForLoopAndBreak(t *testing.T) {
+	_, env := run(t, `total = 0
+for i in range(10):
+    if i == 5:
+        break
+    total += i
+`, nil)
+	if got := envFloat(t, env, "total"); got != 10 { // 0+1+2+3+4
+		t.Errorf("total = %v, want 10", got)
+	}
+}
+
+func TestRangeForms(t *testing.T) {
+	_, env := run(t, `a = 0
+for i in range(3):
+    a += 1
+b = 0
+for i in range(2, 6):
+    b += i
+c = 0
+for i in range(10, 0, -3):
+    c += i
+`, nil)
+	if got := envFloat(t, env, "a"); got != 3 {
+		t.Errorf("a = %v", got)
+	}
+	if got := envFloat(t, env, "b"); got != 14 {
+		t.Errorf("b = %v", got)
+	}
+	if got := envFloat(t, env, "c"); got != 22 { // 10+7+4+1
+		t.Errorf("c = %v", got)
+	}
+}
+
+func TestIfElifElse(t *testing.T) {
+	src := `x = %d
+if x > 10:
+    y = 1
+elif x > 5:
+    y = 2
+else:
+    y = 3
+`
+	cases := map[int]float64{20: 1, 7: 2, 1: 3}
+	for x, want := range cases {
+		_, env := run(t, replaceInt(src, x), nil)
+		if got := envFloat(t, env, "y"); got != want {
+			t.Errorf("x=%d: y=%v, want %v", x, got, want)
+		}
+	}
+}
+
+func replaceInt(src string, x int) string {
+	out := ""
+	for i := 0; i < len(src); i++ {
+		if src[i] == '%' && i+1 < len(src) && src[i+1] == 'd' {
+			out += itoa(x)
+			i++
+			continue
+		}
+		out += string(src[i])
+	}
+	return out
+}
+
+func itoa(x int) string {
+	if x == 0 {
+		return "0"
+	}
+	var digits []byte
+	for x > 0 {
+		digits = append([]byte{byte('0' + x%10)}, digits...)
+		x /= 10
+	}
+	return string(digits)
+}
+
+func TestVectorBroadcasting(t *testing.T) {
+	ctx := builtins.NewMapContext()
+	ctx.Inputs["v"] = value.NewVec([]float64{1, 2, 3})
+	_, env := run(t, `v = load("v")
+w = v * 2.0
+x = w + v
+s = vsum(x)
+m = vsum(v > 1.5)
+`, ctx)
+	if got := envFloat(t, env, "s"); got != 18 { // (2,4,6)+(1,2,3) = 3+6+9
+		t.Errorf("s = %v, want 18", got)
+	}
+	if got := envFloat(t, env, "m"); got != 2 {
+		t.Errorf("m = %v, want 2", got)
+	}
+}
+
+func TestIndexing(t *testing.T) {
+	ctx := builtins.NewMapContext()
+	ctx.Inputs["v"] = value.NewVec([]float64{5, 6, 7})
+	_, env := run(t, `v = load("v")
+a = v[1]
+`, ctx)
+	if got := envFloat(t, env, "a"); got != 6 {
+		t.Errorf("a = %v", got)
+	}
+}
+
+func TestIndexOutOfRange(t *testing.T) {
+	ctx := builtins.NewMapContext()
+	ctx.Inputs["v"] = value.NewVec([]float64{5})
+	prog, _ := parser.Parse("v = load(\"v\")\na = v[3]\n")
+	if _, _, err := Run(prog, ctx); err == nil {
+		t.Error("expected index error")
+	}
+}
+
+func TestUnboundVariableError(t *testing.T) {
+	prog, _ := parser.Parse("a = b + 1\n")
+	if _, _, err := Run(prog, builtins.NewMapContext()); err == nil {
+		t.Error("expected unbound-variable error")
+	}
+}
+
+func TestDivisionByZeroError(t *testing.T) {
+	prog, _ := parser.Parse("a = 1 // 0\n")
+	if _, _, err := Run(prog, builtins.NewMapContext()); err == nil {
+		t.Error("expected division error")
+	}
+	// Float division by zero is IEEE (inf), like Python's numpy.
+	_, env := run(t, "a = 1.0 / 0.0\n", nil)
+	if got := envFloat(t, env, "a"); !math.IsInf(got, 1) {
+		t.Errorf("1.0/0.0 = %v", got)
+	}
+}
+
+func TestTraceRecordsLinesAndCosts(t *testing.T) {
+	ctx := builtins.NewMapContext()
+	ctx.Inputs["v"] = value.NewVec(make([]float64, 1000))
+	trace, _ := run(t, `v = load("v")
+s = vsum(v)
+t = s + 1.0
+`, ctx)
+	if len(trace.Records) != 3 {
+		t.Fatalf("%d records, want 3", len(trace.Records))
+	}
+	load := trace.Records[0]
+	if load.Line != 1 || load.Cost.StorageBytes != 8000 {
+		t.Errorf("load record: line %d storage %d", load.Line, load.Cost.StorageBytes)
+	}
+	if len(load.Writes) != 1 || load.Writes[0].Name != "v" || load.Writes[0].Bytes != 8000 {
+		t.Errorf("load writes: %+v", load.Writes)
+	}
+	sum := trace.Records[1]
+	if sum.InBytes() != 8000 || sum.OutBytes() != 8 {
+		t.Errorf("vsum record: in=%d out=%d", sum.InBytes(), sum.OutBytes())
+	}
+	if sum.Cost.KernelWork < 1000 {
+		t.Errorf("vsum kernel work %v", sum.Cost.KernelWork)
+	}
+}
+
+func TestTraceLoopAggregation(t *testing.T) {
+	trace, _ := run(t, `total = 0
+for i in range(4):
+    total += i
+`, nil)
+	// Line 3 must appear 4 times in the trace.
+	count := 0
+	for _, r := range trace.Records {
+		if r.Line == 3 {
+			count++
+		}
+	}
+	if count != 4 {
+		t.Errorf("line 3 executed %d times in trace, want 4", count)
+	}
+	lines := trace.Lines()
+	if len(lines) != 3 || lines[0] != 1 || lines[2] != 3 {
+		t.Errorf("trace lines %v", lines)
+	}
+}
+
+func TestReadsDeduplicatedPerLine(t *testing.T) {
+	ctx := builtins.NewMapContext()
+	ctx.Inputs["v"] = value.NewVec(make([]float64, 10))
+	trace, _ := run(t, `v = load("v")
+s = vdot(v, v)
+`, ctx)
+	rec := trace.Records[1]
+	if len(rec.Reads) != 1 {
+		t.Errorf("v read twice on one line must be recorded once: %+v", rec.Reads)
+	}
+}
+
+func TestBreakOutsideLoopErrors(t *testing.T) {
+	prog, err := parser.Parse("break\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Run(prog, builtins.NewMapContext()); err == nil {
+		t.Error("break outside loop must error")
+	}
+}

@@ -1,0 +1,223 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"activego/internal/lang/value"
+)
+
+// binop implements scalar (and scalar/vector broadcast) binary operators.
+// Heavy element-wise math belongs to builtins; the operators here cover
+// scalar control arithmetic plus convenience broadcasting, costed like
+// the equivalent builtin would be.
+func (in *Interp) binop(op string, a, b value.Value) (value.Value, error) {
+	// Vector broadcasting convenience: v + s, v * v, etc.
+	if a.Kind() == value.KindVec || b.Kind() == value.KindVec {
+		return in.vecBinop(op, a, b)
+	}
+	switch op {
+	case "==", "!=", "<", "<=", ">", ">=":
+		return compare(op, a, b)
+	}
+	// Integer arithmetic stays integer for +,-,*,//,%.
+	ai, aIsInt := a.(value.Int)
+	bi, bIsInt := b.(value.Int)
+	if aIsInt && bIsInt {
+		switch op {
+		case "+":
+			return ai + bi, nil
+		case "-":
+			return ai - bi, nil
+		case "*":
+			return ai * bi, nil
+		case "//":
+			if bi == 0 {
+				return nil, fmt.Errorf("integer division by zero")
+			}
+			return value.Int(floorDiv(int64(ai), int64(bi))), nil
+		case "%":
+			if bi == 0 {
+				return nil, fmt.Errorf("modulo by zero")
+			}
+			return value.Int(int64(ai) - floorDiv(int64(ai), int64(bi))*int64(bi)), nil
+		}
+	}
+	af, err := value.AsFloat(a)
+	if err != nil {
+		return nil, fmt.Errorf("operator %q: %v", op, err)
+	}
+	bf, err := value.AsFloat(b)
+	if err != nil {
+		return nil, fmt.Errorf("operator %q: %v", op, err)
+	}
+	switch op {
+	case "+":
+		return value.Float(af + bf), nil
+	case "-":
+		return value.Float(af - bf), nil
+	case "*":
+		return value.Float(af * bf), nil
+	case "/":
+		return value.Float(af / bf), nil
+	case "//":
+		return value.Float(math.Floor(af / bf)), nil
+	case "%":
+		return value.Float(math.Mod(af, bf)), nil
+	case "**":
+		return value.Float(math.Pow(af, bf)), nil
+	}
+	return nil, fmt.Errorf("unknown operator %q", op)
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+func compare(op string, a, b value.Value) (value.Value, error) {
+	// String equality.
+	as, aStr := a.(value.Str)
+	bs, bStr := b.(value.Str)
+	if aStr && bStr {
+		switch op {
+		case "==":
+			return value.Bool(as == bs), nil
+		case "!=":
+			return value.Bool(as != bs), nil
+		}
+		return nil, fmt.Errorf("operator %q on strings", op)
+	}
+	af, err := value.AsFloat(a)
+	if err != nil {
+		return nil, fmt.Errorf("comparison %q: %v", op, err)
+	}
+	bf, err := value.AsFloat(b)
+	if err != nil {
+		return nil, fmt.Errorf("comparison %q: %v", op, err)
+	}
+	switch op {
+	case "==":
+		return value.Bool(af == bf), nil
+	case "!=":
+		return value.Bool(af != bf), nil
+	case "<":
+		return value.Bool(af < bf), nil
+	case "<=":
+		return value.Bool(af <= bf), nil
+	case ">":
+		return value.Bool(af > bf), nil
+	case ">=":
+		return value.Bool(af >= bf), nil
+	}
+	return nil, fmt.Errorf("unknown comparison %q", op)
+}
+
+// vecBinop broadcasts an arithmetic operator over vectors, charging the
+// same cost profile as the equivalent builtins would.
+func (in *Interp) vecBinop(op string, a, b value.Value) (value.Value, error) {
+	var fn func(x, y float64) float64
+	switch op {
+	case "+":
+		fn = func(x, y float64) float64 { return x + y }
+	case "-":
+		fn = func(x, y float64) float64 { return x - y }
+	case "*":
+		fn = func(x, y float64) float64 { return x * y }
+	case "/":
+		fn = func(x, y float64) float64 { return x / y }
+	case ">":
+		fn = func(x, y float64) float64 { return boolF(x > y) }
+	case ">=":
+		fn = func(x, y float64) float64 { return boolF(x >= y) }
+	case "<":
+		fn = func(x, y float64) float64 { return boolF(x < y) }
+	case "<=":
+		fn = func(x, y float64) float64 { return boolF(x <= y) }
+	case "==":
+		fn = func(x, y float64) float64 { return boolF(x == y) }
+	default:
+		return nil, fmt.Errorf("operator %q not defined on vectors", op)
+	}
+	av, aIsVec := a.(*value.Vec)
+	bv, bIsVec := b.(*value.Vec)
+	switch {
+	case aIsVec && bIsVec:
+		if av.Len() != bv.Len() {
+			return nil, fmt.Errorf("vector operator %q length mismatch %d vs %d", op, av.Len(), bv.Len())
+		}
+		out := make([]float64, av.Len())
+		for i := range out {
+			out[i] = fn(av.Data[i], bv.Data[i])
+		}
+		in.chargeVecOp(int64(len(out)), 3)
+		return value.NewVec(out), nil
+	case aIsVec:
+		s, err := value.AsFloat(b)
+		if err != nil {
+			return nil, fmt.Errorf("vector operator %q: %v", op, err)
+		}
+		out := make([]float64, av.Len())
+		for i := range out {
+			out[i] = fn(av.Data[i], s)
+		}
+		in.chargeVecOp(int64(len(out)), 2)
+		return value.NewVec(out), nil
+	default:
+		s, err := value.AsFloat(a)
+		if err != nil {
+			return nil, fmt.Errorf("vector operator %q: %v", op, err)
+		}
+		out := make([]float64, bv.Len())
+		for i := range out {
+			out[i] = fn(s, bv.Data[i])
+		}
+		in.chargeVecOp(int64(len(out)), 2)
+		return value.NewVec(out), nil
+	}
+}
+
+func boolF(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// chargeVecOp charges the cost of one broadcast vector operator touching
+// `streams` arrays of n elements.
+func (in *Interp) chargeVecOp(n int64, streams int64) {
+	in.curCost.Add(value.Cost{
+		KernelWork: float64(n),
+		GlueWork:   2 * float64(n),
+		CopyBytes:  streams * n * 8,
+		Elements:   n,
+	})
+}
+
+// unop implements unary operators.
+func (in *Interp) unop(op string, v value.Value) (value.Value, error) {
+	switch op {
+	case "not":
+		return value.Bool(!value.Truthy(v)), nil
+	case "-":
+		switch x := v.(type) {
+		case value.Int:
+			return -x, nil
+		case value.Float:
+			return -x, nil
+		case *value.Vec:
+			out := make([]float64, x.Len())
+			for i, e := range x.Data {
+				out[i] = -e
+			}
+			in.chargeVecOp(int64(len(out)), 2)
+			return value.NewVec(out), nil
+		}
+		return nil, fmt.Errorf("cannot negate %v", v.Kind())
+	}
+	return nil, fmt.Errorf("unknown unary operator %q", op)
+}

@@ -1,0 +1,328 @@
+// Package lexer tokenizes activego mini-language source, including
+// Python-style significant indentation (INDENT/DEDENT tokens).
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"activego/internal/lang/token"
+)
+
+// Lexer scans one source text.
+type Lexer struct {
+	src    string
+	pos    int
+	line   int
+	col    int
+	indent []int // indentation stack, always starts [0]
+	toks   []token.Token
+	err    error
+}
+
+// Lex tokenizes src. It returns the full token stream terminated by EOF,
+// or an error describing the first lexical problem.
+func Lex(src string) ([]token.Token, error) {
+	l := &Lexer{src: src, line: 1, col: 1, indent: []int{0}}
+	l.run()
+	if l.err != nil {
+		return nil, l.err
+	}
+	return l.toks, nil
+}
+
+func (l *Lexer) errorf(format string, args ...any) {
+	if l.err == nil {
+		l.err = fmt.Errorf("line %d: %s", l.line, fmt.Sprintf(format, args...))
+	}
+}
+
+func (l *Lexer) emit(t token.Type, lit string, col int) {
+	l.toks = append(l.toks, token.Token{Type: t, Literal: lit, Line: l.line, Col: col})
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	l.col++
+	return c
+}
+
+func (l *Lexer) run() {
+	atLineStart := true
+	for l.pos < len(l.src) && l.err == nil {
+		if atLineStart {
+			blank := l.handleIndent()
+			atLineStart = false
+			if blank {
+				atLineStart = true
+				continue
+			}
+			if l.pos >= len(l.src) {
+				break
+			}
+		}
+		c := l.peek()
+		switch {
+		case c == '\n':
+			l.advance()
+			l.emit(token.NEWLINE, "", l.col)
+			l.line++
+			l.col = 1
+			atLineStart = true
+		case c == '#':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == ' ' || c == '\t' || c == '\r':
+			l.advance()
+		case isDigit(c):
+			l.lexNumber()
+		case isIdentStart(c):
+			l.lexIdent()
+		case c == '"' || c == '\'':
+			l.lexString(c)
+		default:
+			l.lexOperator()
+		}
+	}
+	if l.err != nil {
+		return
+	}
+	// Final NEWLINE if the file doesn't end with one.
+	if n := len(l.toks); n > 0 && l.toks[n-1].Type != token.NEWLINE {
+		l.emit(token.NEWLINE, "", l.col)
+	}
+	// Close all open blocks.
+	for len(l.indent) > 1 {
+		l.indent = l.indent[:len(l.indent)-1]
+		l.emit(token.DEDENT, "", 1)
+	}
+	l.emit(token.EOF, "", l.col)
+}
+
+// handleIndent measures the leading whitespace of the current line and
+// emits INDENT/DEDENT tokens. It returns true when the line is blank or
+// comment-only (such lines don't affect indentation).
+func (l *Lexer) handleIndent() bool {
+	width := 0
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := l.peek()
+		if c == ' ' {
+			width++
+			l.advance()
+		} else if c == '\t' {
+			width += 8 - width%8
+			l.advance()
+		} else {
+			break
+		}
+	}
+	if l.pos >= len(l.src) {
+		return false
+	}
+	c := l.peek()
+	if c == '\n' {
+		l.advance()
+		l.line++
+		l.col = 1
+		return true
+	}
+	if c == '#' {
+		for l.pos < len(l.src) && l.peek() != '\n' {
+			l.advance()
+		}
+		if l.pos < len(l.src) {
+			l.advance()
+			l.line++
+			l.col = 1
+		}
+		return true
+	}
+	cur := l.indent[len(l.indent)-1]
+	switch {
+	case width > cur:
+		l.indent = append(l.indent, width)
+		l.emit(token.INDENT, "", 1)
+	case width < cur:
+		for len(l.indent) > 1 && l.indent[len(l.indent)-1] > width {
+			l.indent = l.indent[:len(l.indent)-1]
+			l.emit(token.DEDENT, "", 1)
+		}
+		if l.indent[len(l.indent)-1] != width {
+			l.errorf("inconsistent dedent to width %d (source col %d)", width, l.pos-start+1)
+		}
+	}
+	return false
+}
+
+func (l *Lexer) lexNumber() {
+	start := l.pos
+	col := l.col
+	isFloat := false
+	for l.pos < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' && isDigit(l.peek2()) {
+		isFloat = true
+		l.advance()
+		for l.pos < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if c := l.peek(); c == 'e' || c == 'E' {
+		save := l.pos
+		l.advance()
+		if c := l.peek(); c == '+' || c == '-' {
+			l.advance()
+		}
+		if isDigit(l.peek()) {
+			isFloat = true
+			for l.pos < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			l.pos = save
+		}
+	}
+	lit := l.src[start:l.pos]
+	if isFloat {
+		l.emit(token.FLOAT, lit, col)
+	} else {
+		l.emit(token.INT, lit, col)
+	}
+}
+
+func (l *Lexer) lexIdent() {
+	start := l.pos
+	col := l.col
+	for l.pos < len(l.src) && isIdentPart(l.peek()) {
+		l.advance()
+	}
+	lit := l.src[start:l.pos]
+	if kw, ok := token.Keywords[lit]; ok {
+		l.emit(kw, lit, col)
+		return
+	}
+	l.emit(token.IDENT, lit, col)
+}
+
+func (l *Lexer) lexString(quote byte) {
+	col := l.col
+	l.advance() // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.advance()
+		switch c {
+		case quote:
+			l.emit(token.STRING, sb.String(), col)
+			return
+		case '\n':
+			l.errorf("unterminated string")
+			return
+		case '\\':
+			if l.pos >= len(l.src) {
+				l.errorf("unterminated escape")
+				return
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '\\', '"', '\'':
+				sb.WriteByte(e)
+			default:
+				l.errorf("unknown escape \\%c", e)
+				return
+			}
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	l.errorf("unterminated string")
+}
+
+func (l *Lexer) lexOperator() {
+	col := l.col
+	c := l.advance()
+	two := func(next byte, ifTwo, ifOne token.Type) {
+		if l.peek() == next {
+			l.advance()
+			l.emit(ifTwo, string(c)+string(next), col)
+		} else {
+			l.emit(ifOne, string(c), col)
+		}
+	}
+	switch c {
+	case '=':
+		two('=', token.EQ, token.ASSIGN)
+	case '+':
+		two('=', token.PLUSEQ, token.PLUS)
+	case '-':
+		two('=', token.MINUSEQ, token.MINUS)
+	case '*':
+		if l.peek() == '*' {
+			l.advance()
+			l.emit(token.POW, "**", col)
+		} else {
+			two('=', token.STAREQ, token.STAR)
+		}
+	case '/':
+		if l.peek() == '/' {
+			l.advance()
+			l.emit(token.DBLSLASH, "//", col)
+		} else {
+			two('=', token.SLASHEQ, token.SLASH)
+		}
+	case '%':
+		l.emit(token.PERCENT, "%", col)
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			l.emit(token.NEQ, "!=", col)
+		} else {
+			l.errorf("unexpected '!'")
+		}
+	case '<':
+		two('=', token.LE, token.LT)
+	case '>':
+		two('=', token.GE, token.GT)
+	case '(':
+		l.emit(token.LPAREN, "(", col)
+	case ')':
+		l.emit(token.RPAREN, ")", col)
+	case '[':
+		l.emit(token.LBRACKET, "[", col)
+	case ']':
+		l.emit(token.RBRACKET, "]", col)
+	case ',':
+		l.emit(token.COMMA, ",", col)
+	case ':':
+		l.emit(token.COLON, ":", col)
+	case '.':
+		l.emit(token.DOT, ".", col)
+	default:
+		l.errorf("unexpected character %q", c)
+	}
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }

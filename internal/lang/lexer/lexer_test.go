@@ -1,0 +1,186 @@
+package lexer
+
+import (
+	"testing"
+
+	"activego/internal/lang/token"
+)
+
+func types(toks []token.Token) []token.Type {
+	out := make([]token.Type, len(toks))
+	for i, tk := range toks {
+		out[i] = tk.Type
+	}
+	return out
+}
+
+func expectTypes(t *testing.T, src string, want ...token.Type) {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	got := types(toks)
+	if len(got) != len(want) {
+		t.Fatalf("lex %q: got %v, want %v", src, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lex %q: token %d is %v, want %v (full: %v)", src, i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestSimpleAssignment(t *testing.T) {
+	expectTypes(t, "x = 1\n",
+		token.IDENT, token.ASSIGN, token.INT, token.NEWLINE, token.EOF)
+}
+
+func TestOperators(t *testing.T) {
+	expectTypes(t, "a == b != c <= d >= e ** f // g\n",
+		token.IDENT, token.EQ, token.IDENT, token.NEQ, token.IDENT, token.LE,
+		token.IDENT, token.GE, token.IDENT, token.POW, token.IDENT,
+		token.DBLSLASH, token.IDENT, token.NEWLINE, token.EOF)
+}
+
+func TestAugmentedAssign(t *testing.T) {
+	expectTypes(t, "x += 1\ny -= 2\nz *= 3\nw /= 4\n",
+		token.IDENT, token.PLUSEQ, token.INT, token.NEWLINE,
+		token.IDENT, token.MINUSEQ, token.INT, token.NEWLINE,
+		token.IDENT, token.STAREQ, token.INT, token.NEWLINE,
+		token.IDENT, token.SLASHEQ, token.INT, token.NEWLINE, token.EOF)
+}
+
+func TestIndentation(t *testing.T) {
+	src := "for i in range(3):\n    x = i\n    y = x\nz = 1\n"
+	expectTypes(t, src,
+		token.KwFor, token.IDENT, token.KwIn, token.KwRange, token.LPAREN,
+		token.INT, token.RPAREN, token.COLON, token.NEWLINE,
+		token.INDENT,
+		token.IDENT, token.ASSIGN, token.IDENT, token.NEWLINE,
+		token.IDENT, token.ASSIGN, token.IDENT, token.NEWLINE,
+		token.DEDENT,
+		token.IDENT, token.ASSIGN, token.INT, token.NEWLINE, token.EOF)
+}
+
+func TestNestedIndentation(t *testing.T) {
+	src := "if a:\n    if b:\n        x = 1\ny = 2\n"
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indents, dedents := 0, 0
+	for _, tk := range toks {
+		switch tk.Type {
+		case token.INDENT:
+			indents++
+		case token.DEDENT:
+			dedents++
+		}
+	}
+	if indents != 2 || dedents != 2 {
+		t.Errorf("indents=%d dedents=%d, want 2/2", indents, dedents)
+	}
+}
+
+func TestBlankAndCommentLinesIgnored(t *testing.T) {
+	src := "x = 1\n\n# a comment\n   # indented comment\ny = 2\n"
+	expectTypes(t, src,
+		token.IDENT, token.ASSIGN, token.INT, token.NEWLINE,
+		token.IDENT, token.ASSIGN, token.INT, token.NEWLINE, token.EOF)
+}
+
+func TestTrailingCommentOnLine(t *testing.T) {
+	expectTypes(t, "x = 1  # set x\n",
+		token.IDENT, token.ASSIGN, token.INT, token.NEWLINE, token.EOF)
+}
+
+func TestNumbers(t *testing.T) {
+	toks, err := Lex("a = 42\nb = 3.25\nc = 1e-3\nd = 2.5e2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lits []string
+	var kinds []token.Type
+	for _, tk := range toks {
+		if tk.Type == token.INT || tk.Type == token.FLOAT {
+			lits = append(lits, tk.Literal)
+			kinds = append(kinds, tk.Type)
+		}
+	}
+	wantLits := []string{"42", "3.25", "1e-3", "2.5e2"}
+	wantKinds := []token.Type{token.INT, token.FLOAT, token.FLOAT, token.FLOAT}
+	for i := range wantLits {
+		if lits[i] != wantLits[i] || kinds[i] != wantKinds[i] {
+			t.Errorf("number %d: %v %q, want %v %q", i, kinds[i], lits[i], wantKinds[i], wantLits[i])
+		}
+	}
+}
+
+func TestStringsAndEscapes(t *testing.T) {
+	toks, err := Lex(`s = "hi\n\t\"x\""` + "\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	for _, tk := range toks {
+		if tk.Type == token.STRING {
+			got = tk.Literal
+		}
+	}
+	if got != "hi\n\t\"x\"" {
+		t.Errorf("string literal %q", got)
+	}
+}
+
+func TestSingleQuotes(t *testing.T) {
+	toks, err := Lex("s = 'abc'\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Type != token.STRING || toks[2].Literal != "abc" {
+		t.Errorf("got %v", toks[2])
+	}
+}
+
+func TestKeywords(t *testing.T) {
+	expectTypes(t, "if True and not False or None:\n    pass\n",
+		token.KwIf, token.KwTrue, token.KwAnd, token.KwNot, token.KwFalse,
+		token.KwOr, token.KwNone, token.COLON, token.NEWLINE,
+		token.INDENT, token.KwPass, token.NEWLINE, token.DEDENT, token.EOF)
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"x = \"unterminated\n",
+		"x = 'also unterminated",
+		"x = @\n",
+		"x = 1 ! 2\n",
+		"if a:\n    x = 1\n  y = 2\n", // inconsistent dedent
+	}
+	for _, src := range cases {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("lex %q: expected error", src)
+		}
+	}
+}
+
+func TestLineNumbers(t *testing.T) {
+	toks, err := Lex("a = 1\nb = 2\nc = 3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range toks {
+		if tk.Type == token.IDENT {
+			wantLine := map[string]int{"a": 1, "b": 2, "c": 3}[tk.Literal]
+			if tk.Line != wantLine {
+				t.Errorf("ident %q on line %d, want %d", tk.Literal, tk.Line, wantLine)
+			}
+		}
+	}
+}
+
+func TestNoTrailingNewline(t *testing.T) {
+	expectTypes(t, "x = 1",
+		token.IDENT, token.ASSIGN, token.INT, token.NEWLINE, token.EOF)
+}

@@ -1,0 +1,466 @@
+// Package parser builds mini-language ASTs from token streams. The
+// grammar is a small Python subset: newline-terminated statements,
+// indentation blocks for `for`/`if`, assignments (plain and augmented),
+// and ordinary expression syntax with Python operator precedence.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"activego/internal/lang/ast"
+	"activego/internal/lang/lexer"
+	"activego/internal/lang/token"
+)
+
+// Parse lexes and parses src into a Program.
+func Parse(src string) (*ast.Program, error) {
+	toks, err := lexer.Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &ast.Program{Source: src}
+	for !p.at(token.EOF) {
+		if p.at(token.NEWLINE) {
+			p.next()
+			continue
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		prog.Stmts = append(prog.Stmts, s)
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []token.Token
+	pos  int
+}
+
+func (p *parser) cur() token.Token     { return p.toks[p.pos] }
+func (p *parser) at(t token.Type) bool { return p.cur().Type == t }
+func (p *parser) next() token.Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(t token.Type) (token.Token, error) {
+	if !p.at(t) {
+		c := p.cur()
+		return c, fmt.Errorf("line %d: expected %v, found %v", c.Line, t, c)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", p.cur().Line, fmt.Sprintf(format, args...))
+}
+
+// statement parses one statement (simple or compound).
+func (p *parser) statement() (ast.Stmt, error) {
+	switch p.cur().Type {
+	case token.KwFor:
+		return p.forStmt()
+	case token.KwIf:
+		return p.ifStmt()
+	case token.KwPass:
+		ln := p.next().Line
+		if _, err := p.expect(token.NEWLINE); err != nil {
+			return nil, err
+		}
+		return &ast.Pass{Ln: ln}, nil
+	case token.KwBreak:
+		ln := p.next().Line
+		if _, err := p.expect(token.NEWLINE); err != nil {
+			return nil, err
+		}
+		return &ast.Break{Ln: ln}, nil
+	}
+	return p.simpleStmt()
+}
+
+// simpleStmt parses assignment or expression statements.
+func (p *parser) simpleStmt() (ast.Stmt, error) {
+	ln := p.cur().Line
+	// Lookahead for IDENT (=|+=|-=|*=|/=) ...
+	if p.at(token.IDENT) && p.pos+1 < len(p.toks) {
+		switch p.toks[p.pos+1].Type {
+		case token.ASSIGN, token.PLUSEQ, token.MINUSEQ, token.STAREQ, token.SLASHEQ:
+			name := p.next().Literal
+			op := p.next()
+			val, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.NEWLINE); err != nil {
+				return nil, err
+			}
+			aug := ""
+			switch op.Type {
+			case token.PLUSEQ:
+				aug = "+"
+			case token.MINUSEQ:
+				aug = "-"
+			case token.STAREQ:
+				aug = "*"
+			case token.SLASHEQ:
+				aug = "/"
+			}
+			return &ast.Assign{Ln: ln, Name: name, AugOp: aug, Value: val}, nil
+		}
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.NEWLINE); err != nil {
+		return nil, err
+	}
+	return &ast.ExprStmt{Ln: ln, Expr: e}, nil
+}
+
+// block parses NEWLINE INDENT stmt+ DEDENT.
+func (p *parser) block() ([]ast.Stmt, error) {
+	if _, err := p.expect(token.NEWLINE); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.INDENT); err != nil {
+		return nil, err
+	}
+	var stmts []ast.Stmt
+	for !p.at(token.DEDENT) && !p.at(token.EOF) {
+		if p.at(token.NEWLINE) {
+			p.next()
+			continue
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	if _, err := p.expect(token.DEDENT); err != nil {
+		return nil, err
+	}
+	if len(stmts) == 0 {
+		return nil, p.errorf("empty block")
+	}
+	return stmts, nil
+}
+
+func (p *parser) forStmt() (ast.Stmt, error) {
+	ln := p.next().Line // consume `for`
+	nameTok, err := p.expect(token.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.KwIn); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.KwRange); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return nil, err
+	}
+	var args []ast.Expr
+	for {
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if p.at(token.COMMA) {
+			p.next()
+			continue
+		}
+		break
+	}
+	if len(args) > 3 {
+		return nil, p.errorf("range takes at most 3 arguments, got %d", len(args))
+	}
+	if _, err := p.expect(token.RPAREN); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.COLON); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.For{Ln: ln, Var: nameTok.Literal, Range: args, Body: body}, nil
+}
+
+func (p *parser) ifStmt() (ast.Stmt, error) {
+	ln := p.next().Line // consume `if` or `elif`
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.COLON); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	node := &ast.If{Ln: ln, Cond: cond, Then: then}
+	switch p.cur().Type {
+	case token.KwElif:
+		elifStmt, err := p.ifStmt()
+		if err != nil {
+			return nil, err
+		}
+		node.Else = []ast.Stmt{elifStmt}
+	case token.KwElse:
+		p.next()
+		if _, err := p.expect(token.COLON); err != nil {
+			return nil, err
+		}
+		els, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		node.Else = els
+	}
+	return node, nil
+}
+
+// ---- Expressions (precedence climbing) ----
+
+func (p *parser) expr() (ast.Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (ast.Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.KwOr) {
+		p.next()
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &ast.BinOp{Op: "or", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) andExpr() (ast.Expr, error) {
+	left, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.KwAnd) {
+		p.next()
+		right, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &ast.BinOp{Op: "and", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) notExpr() (ast.Expr, error) {
+	if p.at(token.KwNot) {
+		p.next()
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryOp{Op: "not", X: x}, nil
+	}
+	return p.comparison()
+}
+
+var cmpOps = map[token.Type]string{
+	token.EQ: "==", token.NEQ: "!=", token.LT: "<", token.LE: "<=",
+	token.GT: ">", token.GE: ">=",
+}
+
+func (p *parser) comparison() (ast.Expr, error) {
+	left, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := cmpOps[p.cur().Type]; ok {
+		p.next()
+		right, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.BinOp{Op: op, Left: left, Right: right}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) addExpr() (ast.Expr, error) {
+	left, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.PLUS) || p.at(token.MINUS) {
+		op := "+"
+		if p.at(token.MINUS) {
+			op = "-"
+		}
+		p.next()
+		right, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &ast.BinOp{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) mulExpr() (ast.Expr, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().Type {
+		case token.STAR:
+			op = "*"
+		case token.SLASH:
+			op = "/"
+		case token.DBLSLASH:
+			op = "//"
+		case token.PERCENT:
+			op = "%"
+		default:
+			return left, nil
+		}
+		p.next()
+		right, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		left = &ast.BinOp{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) unary() (ast.Expr, error) {
+	if p.at(token.MINUS) {
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryOp{Op: "-", X: x}, nil
+	}
+	return p.power()
+}
+
+func (p *parser) power() (ast.Expr, error) {
+	base, err := p.postfix()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(token.POW) {
+		p.next()
+		exp, err := p.unary() // right-associative
+		if err != nil {
+			return nil, err
+		}
+		return &ast.BinOp{Op: "**", Left: base, Right: exp}, nil
+	}
+	return base, nil
+}
+
+func (p *parser) postfix() (ast.Expr, error) {
+	x, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.LBRACKET) {
+		p.next()
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RBRACKET); err != nil {
+			return nil, err
+		}
+		x = &ast.Index{X: x, Idx: idx}
+	}
+	return x, nil
+}
+
+func (p *parser) atom() (ast.Expr, error) {
+	t := p.cur()
+	switch t.Type {
+	case token.INT:
+		p.next()
+		v, err := strconv.ParseInt(t.Literal, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer %q: %v", t.Literal, err)
+		}
+		return ast.IntLit{Value: v}, nil
+	case token.FLOAT:
+		p.next()
+		v, err := strconv.ParseFloat(t.Literal, 64)
+		if err != nil {
+			return nil, p.errorf("bad float %q: %v", t.Literal, err)
+		}
+		return ast.FloatLit{Value: v}, nil
+	case token.STRING:
+		p.next()
+		return ast.StrLit{Value: t.Literal}, nil
+	case token.KwTrue:
+		p.next()
+		return ast.BoolLit{Value: true}, nil
+	case token.KwFalse:
+		p.next()
+		return ast.BoolLit{Value: false}, nil
+	case token.KwNone:
+		p.next()
+		return ast.NoneLit{}, nil
+	case token.IDENT:
+		p.next()
+		if p.at(token.LPAREN) {
+			p.next()
+			var args []ast.Expr
+			if !p.at(token.RPAREN) {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.at(token.COMMA) {
+						p.next()
+						continue
+					}
+					break
+				}
+			}
+			if _, err := p.expect(token.RPAREN); err != nil {
+				return nil, err
+			}
+			return &ast.Call{Func: t.Literal, Args: args}, nil
+		}
+		return ast.Name{Ident: t.Literal}, nil
+	case token.LPAREN:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errorf("unexpected token %v", t)
+}

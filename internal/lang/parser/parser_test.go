@@ -1,0 +1,199 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"activego/internal/lang/ast"
+)
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return p
+}
+
+func TestAssignAndExprStatements(t *testing.T) {
+	p := mustParse(t, "x = 1 + 2 * 3\nprint(x)\n")
+	if len(p.Stmts) != 2 {
+		t.Fatalf("got %d statements", len(p.Stmts))
+	}
+	a, ok := p.Stmts[0].(*ast.Assign)
+	if !ok || a.Name != "x" || a.Line() != 1 {
+		t.Fatalf("stmt 0: %v", p.Stmts[0])
+	}
+	// Precedence: 1 + (2 * 3).
+	if a.Value.String() != "(1 + (2 * 3))" {
+		t.Errorf("precedence: %s", a.Value)
+	}
+	if _, ok := p.Stmts[1].(*ast.ExprStmt); !ok {
+		t.Errorf("stmt 1: %T", p.Stmts[1])
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	cases := map[string]string{
+		"a + b * c":       "(a + (b * c))",
+		"a * b + c":       "((a * b) + c)",
+		"a + b < c * d":   "((a + b) < (c * d))",
+		"a and b or c":    "((a and b) or c)",
+		"not a and b":     "((not a) and b)",
+		"a < b and c > d": "((a < b) and (c > d))",
+		"-a * b":          "((- a) * b)",
+		"a ** b ** c":     "(a ** (b ** c))", // right associative
+		"a - b - c":       "((a - b) - c)",
+		"a / b // c % d":  "(((a / b) // c) % d)",
+		"(a + b) * c":     "((a + b) * c)",
+		"f(a, b + c)[i]":  "f(a, (b + c))[i]",
+	}
+	for src, want := range cases {
+		p := mustParse(t, src+"\n")
+		got := p.Stmts[0].(*ast.ExprStmt).Expr.String()
+		if got != want {
+			t.Errorf("%q parsed as %s, want %s", src, got, want)
+		}
+	}
+}
+
+func TestAugmentedAssign(t *testing.T) {
+	p := mustParse(t, "x += f(y)\n")
+	a := p.Stmts[0].(*ast.Assign)
+	if a.AugOp != "+" {
+		t.Errorf("aug op %q, want +", a.AugOp)
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	p := mustParse(t, "for i in range(2, 10, 3):\n    x = i\n")
+	f, ok := p.Stmts[0].(*ast.For)
+	if !ok {
+		t.Fatalf("got %T", p.Stmts[0])
+	}
+	if f.Var != "i" || len(f.Range) != 3 || len(f.Body) != 1 {
+		t.Errorf("for: var=%q range=%d body=%d", f.Var, len(f.Range), len(f.Body))
+	}
+	if f.Body[0].Line() != 2 {
+		t.Errorf("body line %d, want 2", f.Body[0].Line())
+	}
+}
+
+func TestIfElifElse(t *testing.T) {
+	src := `if a > 1:
+    x = 1
+elif a > 0:
+    x = 2
+else:
+    x = 3
+`
+	p := mustParse(t, src)
+	i, ok := p.Stmts[0].(*ast.If)
+	if !ok {
+		t.Fatalf("got %T", p.Stmts[0])
+	}
+	if len(i.Then) != 1 || len(i.Else) != 1 {
+		t.Fatalf("if: then=%d else=%d", len(i.Then), len(i.Else))
+	}
+	elif, ok := i.Else[0].(*ast.If)
+	if !ok {
+		t.Fatalf("elif is %T", i.Else[0])
+	}
+	if len(elif.Else) != 1 {
+		t.Errorf("elif else: %d", len(elif.Else))
+	}
+}
+
+func TestNestedBlocks(t *testing.T) {
+	src := `for i in range(3):
+    for j in range(2):
+        if i > j:
+            x = i
+    y = i
+z = 1
+`
+	p := mustParse(t, src)
+	if len(p.Stmts) != 2 {
+		t.Fatalf("top level: %d statements", len(p.Stmts))
+	}
+	outer := p.Stmts[0].(*ast.For)
+	if len(outer.Body) != 2 {
+		t.Fatalf("outer body: %d", len(outer.Body))
+	}
+	inner := outer.Body[0].(*ast.For)
+	if _, ok := inner.Body[0].(*ast.If); !ok {
+		t.Errorf("inner body: %T", inner.Body[0])
+	}
+}
+
+func TestBreakAndPass(t *testing.T) {
+	src := `for i in range(10):
+    if i > 3:
+        break
+    pass
+`
+	p := mustParse(t, src)
+	f := p.Stmts[0].(*ast.For)
+	if _, ok := f.Body[1].(*ast.Pass); !ok {
+		t.Errorf("want pass, got %T", f.Body[1])
+	}
+}
+
+func TestCallsAndIndexing(t *testing.T) {
+	p := mustParse(t, `x = tfilter(t, "col", "<", 3.5)[0]`+"\n")
+	a := p.Stmts[0].(*ast.Assign)
+	idx, ok := a.Value.(*ast.Index)
+	if !ok {
+		t.Fatalf("value is %T", a.Value)
+	}
+	call, ok := idx.X.(*ast.Call)
+	if !ok || call.Func != "tfilter" || len(call.Args) != 4 {
+		t.Fatalf("call: %v", idx.X)
+	}
+}
+
+func TestLiterals(t *testing.T) {
+	p := mustParse(t, "a = True\nb = False\nc = None\nd = \"s\"\ne = 1.5\n")
+	wants := []string{"True", "False", "None", `"s"`, "1.5"}
+	for i, w := range wants {
+		got := p.Stmts[i].(*ast.Assign).Value.String()
+		if got != w {
+			t.Errorf("literal %d: %s, want %s", i, got, w)
+		}
+	}
+}
+
+func TestMaxLine(t *testing.T) {
+	src := "a = 1\nfor i in range(2):\n    b = 2\n    c = 3\nd = 4\n"
+	p := mustParse(t, src)
+	if got := p.MaxLine(); got != 5 {
+		t.Errorf("MaxLine = %d, want 5", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"x = \n",
+		"for i in x:\n    y = 1\n",       // only range() loops
+		"for i in range():\n    y = 1\n", // range needs arguments
+		"if a\n    x = 1\n",              // missing colon
+		"x = (1 + 2\n",
+		"f(a,\n",
+		"for i in range(1):\n", // missing body
+		"1 = x\n",
+		"for i in range(1,2,3,4):\n    x = 1\n",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("parse %q: expected error", src)
+		}
+	}
+}
+
+func TestErrorMentionsLine(t *testing.T) {
+	_, err := Parse("x = 1\ny = (\n")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error should carry line 2: %v", err)
+	}
+}

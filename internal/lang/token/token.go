@@ -1,0 +1,106 @@
+// Package token defines the lexical tokens of the activego mini-language,
+// the Python stand-in that ActivePy programs are written in.
+package token
+
+import "fmt"
+
+// Type identifies a token class.
+type Type int
+
+// Token types.
+const (
+	ILLEGAL Type = iota
+	EOF
+	NEWLINE
+	INDENT
+	DEDENT
+
+	IDENT  // variable or function names
+	INT    // 123
+	FLOAT  // 1.5, 1e-3
+	STRING // "text"
+
+	// Operators and delimiters.
+	ASSIGN   // =
+	PLUS     // +
+	MINUS    // -
+	STAR     // *
+	SLASH    // /
+	DBLSLASH // //
+	PERCENT  // %
+	POW      // **
+	EQ       // ==
+	NEQ      // !=
+	LT       // <
+	LE       // <=
+	GT       // >
+	GE       // >=
+	LPAREN   // (
+	RPAREN   // )
+	LBRACKET // [
+	RBRACKET // ]
+	COMMA    // ,
+	COLON    // :
+	DOT      // .
+	PLUSEQ   // +=
+	MINUSEQ  // -=
+	STAREQ   // *=
+	SLASHEQ  // /=
+
+	// Keywords.
+	KwFor
+	KwIn
+	KwIf
+	KwElif
+	KwElse
+	KwRange
+	KwTrue
+	KwFalse
+	KwAnd
+	KwOr
+	KwNot
+	KwNone
+	KwPass
+	KwBreak
+)
+
+var names = map[Type]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF", NEWLINE: "NEWLINE", INDENT: "INDENT", DEDENT: "DEDENT",
+	IDENT: "IDENT", INT: "INT", FLOAT: "FLOAT", STRING: "STRING",
+	ASSIGN: "=", PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", DBLSLASH: "//",
+	PERCENT: "%", POW: "**", EQ: "==", NEQ: "!=", LT: "<", LE: "<=", GT: ">", GE: ">=",
+	LPAREN: "(", RPAREN: ")", LBRACKET: "[", RBRACKET: "]", COMMA: ",", COLON: ":", DOT: ".",
+	PLUSEQ: "+=", MINUSEQ: "-=", STAREQ: "*=", SLASHEQ: "/=",
+	KwFor: "for", KwIn: "in", KwIf: "if", KwElif: "elif", KwElse: "else",
+	KwRange: "range", KwTrue: "True", KwFalse: "False", KwAnd: "and", KwOr: "or",
+	KwNot: "not", KwNone: "None", KwPass: "pass", KwBreak: "break",
+}
+
+func (t Type) String() string {
+	if n, ok := names[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("token(%d)", int(t))
+}
+
+// Keywords maps keyword spellings to their token types.
+var Keywords = map[string]Type{
+	"for": KwFor, "in": KwIn, "if": KwIf, "elif": KwElif, "else": KwElse,
+	"range": KwRange, "True": KwTrue, "False": KwFalse, "and": KwAnd,
+	"or": KwOr, "not": KwNot, "None": KwNone, "pass": KwPass, "break": KwBreak,
+}
+
+// Token is one lexed token.
+type Token struct {
+	Type    Type
+	Literal string
+	Line    int // 1-based source line
+	Col     int // 1-based column
+}
+
+func (t Token) String() string {
+	if t.Literal != "" && t.Type != NEWLINE {
+		return fmt.Sprintf("%v(%q)@%d:%d", t.Type, t.Literal, t.Line, t.Col)
+	}
+	return fmt.Sprintf("%v@%d:%d", t.Type, t.Line, t.Col)
+}

@@ -1,0 +1,39 @@
+package token
+
+import "testing"
+
+func TestKeywordTable(t *testing.T) {
+	for spelling, typ := range Keywords {
+		if typ.String() != spelling {
+			t.Errorf("keyword %q stringifies as %q", spelling, typ.String())
+		}
+	}
+	if Keywords["for"] != KwFor || Keywords["range"] != KwRange {
+		t.Error("keyword lookups broken")
+	}
+	if _, ok := Keywords["func"]; ok {
+		t.Error("func is not a mini-language keyword")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := Token{Type: IDENT, Literal: "x", Line: 3, Col: 5}
+	if got := tok.String(); got != `IDENT("x")@3:5` {
+		t.Errorf("token string %q", got)
+	}
+	nl := Token{Type: NEWLINE, Line: 1, Col: 2}
+	if got := nl.String(); got != "NEWLINE@1:2" {
+		t.Errorf("newline string %q", got)
+	}
+}
+
+func TestOperatorNames(t *testing.T) {
+	cases := map[Type]string{
+		EQ: "==", NEQ: "!=", POW: "**", DBLSLASH: "//", PLUSEQ: "+=",
+	}
+	for typ, want := range cases {
+		if typ.String() != want {
+			t.Errorf("%d: %q, want %q", typ, typ.String(), want)
+		}
+	}
+}

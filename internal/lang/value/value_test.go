@@ -1,0 +1,159 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarSizes(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want int64
+	}{
+		{Int(5), 8},
+		{Float(1.5), 8},
+		{Bool(true), 1},
+		{Str("abcd"), 4},
+		{None{}, 0},
+	}
+	for _, c := range cases {
+		if got := c.v.SizeBytes(); got != c.want {
+			t.Errorf("%v: size %d, want %d", c.v.Kind(), got, c.want)
+		}
+	}
+}
+
+func TestVecSize(t *testing.T) {
+	v := NewVec(make([]float64, 100))
+	if v.SizeBytes() != 800 {
+		t.Errorf("vec size %d, want 800", v.SizeBytes())
+	}
+	iv := NewIVec(make([]int64, 7))
+	if iv.SizeBytes() != 56 {
+		t.Errorf("ivec size %d, want 56", iv.SizeBytes())
+	}
+}
+
+func TestMatAccessors(t *testing.T) {
+	m := NewMat(3, 4)
+	m.Set(2, 3, 7.5)
+	if m.At(2, 3) != 7.5 {
+		t.Errorf("At(2,3) = %v", m.At(2, 3))
+	}
+	if m.SizeBytes() != 3*4*8 {
+		t.Errorf("mat size %d", m.SizeBytes())
+	}
+}
+
+func TestCSRSize(t *testing.T) {
+	c := &CSR{Rows: 2, Cols: 3, RowPtr: []int32{0, 1, 2}, ColIdx: []int32{0, 2}, Val: []float64{1, 2}}
+	// rowptr 3*4 + colidx 2*4 + vals 2*8 = 36
+	if c.SizeBytes() != 36 {
+		t.Errorf("csr size %d, want 36", c.SizeBytes())
+	}
+	if c.NNZ() != 2 {
+		t.Errorf("nnz %d", c.NNZ())
+	}
+}
+
+func TestTableConstructionAndLookup(t *testing.T) {
+	tab := NewTable(
+		[]string{"a", "b"},
+		[]Value{NewVec([]float64{1, 2}), NewIVec([]int64{3, 4})})
+	if tab.NRows != 2 {
+		t.Fatalf("nrows %d", tab.NRows)
+	}
+	if tab.SizeBytes() != 32 {
+		t.Errorf("size %d, want 32", tab.SizeBytes())
+	}
+	if _, ok := tab.Col("a"); !ok {
+		t.Error("missing column a")
+	}
+	if _, ok := tab.Col("z"); ok {
+		t.Error("phantom column z")
+	}
+	if got := tab.FloatCol("a").Data[1]; got != 2 {
+		t.Errorf("a[1] = %v", got)
+	}
+	if got := tab.IntCol("b").Data[0]; got != 3 {
+		t.Errorf("b[0] = %v", got)
+	}
+}
+
+func TestRaggedTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged table must panic")
+		}
+	}()
+	NewTable([]string{"a", "b"}, []Value{NewVec([]float64{1}), NewVec([]float64{1, 2})})
+}
+
+func TestModelSize(t *testing.T) {
+	m := &Model{Trees: [][]TreeNode{make([]TreeNode, 3), make([]TreeNode, 5)}, Features: 4}
+	if m.SizeBytes() != 8*32 {
+		t.Errorf("model size %d, want 256", m.SizeBytes())
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want bool
+	}{
+		{Int(0), false}, {Int(1), true},
+		{Float(0), false}, {Float(-1), true},
+		{Bool(false), false}, {Bool(true), true},
+		{Str(""), false}, {Str("x"), true},
+		{None{}, false},
+		{NewVec(nil), false}, {NewVec([]float64{1}), true},
+	}
+	for _, c := range cases {
+		if got := Truthy(c.v); got != c.want {
+			t.Errorf("Truthy(%v %v) = %v", c.v.Kind(), c.v, got)
+		}
+	}
+}
+
+func TestAsFloatAsInt(t *testing.T) {
+	if f, err := AsFloat(Int(3)); err != nil || f != 3 {
+		t.Errorf("AsFloat(Int) = %v, %v", f, err)
+	}
+	if n, err := AsInt(Float(2.9)); err != nil || n != 2 {
+		t.Errorf("AsInt(Float) = %v, %v", n, err)
+	}
+	if b, err := AsFloat(Bool(true)); err != nil || b != 1 {
+		t.Errorf("AsFloat(Bool) = %v, %v", b, err)
+	}
+	if _, err := AsFloat(NewVec(nil)); err == nil {
+		t.Error("AsFloat(vec) must fail")
+	}
+	if _, err := AsInt(Str("x")); err == nil {
+		t.Error("AsInt(str) must fail")
+	}
+}
+
+// TestVecSizeProperty: a vector's byte size is always 8x its length.
+func TestVecSizeProperty(t *testing.T) {
+	f := func(data []float64) bool {
+		return NewVec(data).SizeBytes() == int64(len(data))*8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTableSizeProperty: a table's size is the sum of its columns'.
+func TestTableSizeProperty(t *testing.T) {
+	f := func(a []float64, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		tab := NewTable([]string{"x", "y"}, []Value{NewVec(a[:n]), NewVec(b[:n])})
+		return tab.SizeBytes() == int64(2*n*8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

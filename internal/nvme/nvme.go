@@ -1,0 +1,164 @@
+// Package nvme models NVMe-style paired submission/completion queues.
+//
+// ActivePy reuses the NVMe queue-pair mechanism for CSD function calls
+// (§III-C-b): the host posts an entry to a call queue mapped in device
+// memory, the CSE fetches requests whenever it is free, and status updates
+// flow back through the completion queue. This package provides that
+// mechanism for both plain block I/O and ActivePy's function-call and
+// status traffic.
+//
+// Timing: posting a submission entry moves one 64-byte SQE plus a doorbell
+// write across the host-device link; a completion moves a 16-byte CQE
+// back. Queue depth bounds the number of in-flight commands; the rest wait
+// in a host-side software queue, FIFO.
+package nvme
+
+import (
+	"fmt"
+
+	"activego/internal/sim"
+)
+
+// SQE and CQE sizes in bytes, per the NVMe specification.
+const (
+	SQESize = 64
+	CQESize = 16
+)
+
+// Opcode identifies the command type.
+type Opcode uint8
+
+// Command opcodes. Read/Write are classic block I/O; Call, Status and
+// Preempt are ActivePy's function-call protocol on the same mechanism.
+const (
+	OpRead    Opcode = iota // read Bytes from storage object
+	OpWrite                 // write Bytes to storage object
+	OpCall                  // invoke a CSD function
+	OpStatus                // CSD -> host execution-rate report
+	OpPreempt               // host -> CSD: stop at next line boundary
+	OpAdmin                 // identify/configure
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpCall:
+		return "call"
+	case OpStatus:
+		return "status"
+	case OpPreempt:
+		return "preempt"
+	case OpAdmin:
+		return "admin"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Command is one submission queue entry.
+type Command struct {
+	Opcode  Opcode
+	Object  string // storage object name for I/O
+	Offset  int64
+	Bytes   int64
+	Payload any // function-call descriptor for OpCall
+}
+
+// Completion is one completion queue entry.
+type Completion struct {
+	Status    uint16 // 0 = success
+	Value     any
+	Submitted sim.Time
+	Started   sim.Time
+	Completed sim.Time
+}
+
+// Handler executes a command on the device side and must call complete
+// exactly once (possibly after scheduling further simulated work).
+type Handler func(cmd Command, submitted sim.Time, complete func(Completion))
+
+// QueuePair is one SQ/CQ pair bound to a link and a device handler.
+type QueuePair struct {
+	sim     *sim.Sim
+	link    *sim.Link
+	depth   int
+	handler Handler
+
+	inFlight  int
+	soft      []pending // host-side software queue when SQ is full
+	submitted uint64
+	completed uint64
+}
+
+type pending struct {
+	cmd  Command
+	when sim.Time
+	done func(Completion)
+}
+
+// NewQueuePair creates a queue pair of the given depth over link, served
+// by handler on the device side.
+func NewQueuePair(s *sim.Sim, link *sim.Link, depth int, handler Handler) *QueuePair {
+	if depth <= 0 {
+		panic("nvme: queue depth must be positive")
+	}
+	if handler == nil {
+		panic("nvme: nil handler")
+	}
+	return &QueuePair{sim: s, link: link, depth: depth, handler: handler}
+}
+
+// Depth returns the hardware queue depth.
+func (q *QueuePair) Depth() int { return q.depth }
+
+// InFlight returns commands currently owned by the device.
+func (q *QueuePair) InFlight() int { return q.inFlight }
+
+// SoftQueued returns commands waiting in the host software queue.
+func (q *QueuePair) SoftQueued() int { return len(q.soft) }
+
+// Stats returns cumulative submitted/completed counts.
+func (q *QueuePair) Stats() (submitted, completed uint64) {
+	return q.submitted, q.completed
+}
+
+// Submit posts cmd; done fires on the host side when the completion entry
+// has crossed back over the link.
+func (q *QueuePair) Submit(cmd Command, done func(Completion)) {
+	q.submitted++
+	p := pending{cmd: cmd, when: q.sim.Now(), done: done}
+	if q.inFlight >= q.depth {
+		q.soft = append(q.soft, p)
+		return
+	}
+	q.issue(p)
+}
+
+func (q *QueuePair) issue(p pending) {
+	q.inFlight++
+	// SQE + doorbell crossing to the device.
+	q.link.Transfer(SQESize, func(_, arrive sim.Time) {
+		q.handler(p.cmd, p.when, func(c Completion) {
+			c.Submitted = p.when
+			if c.Started == 0 {
+				c.Started = arrive
+			}
+			// CQE crossing back to the host.
+			q.link.Transfer(CQESize, func(_, landed sim.Time) {
+				c.Completed = landed
+				q.inFlight--
+				q.completed++
+				if len(q.soft) > 0 {
+					next := q.soft[0]
+					q.soft = q.soft[1:]
+					q.issue(next)
+				}
+				if p.done != nil {
+					p.done(c)
+				}
+			})
+		})
+	})
+}

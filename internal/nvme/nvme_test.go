@@ -1,0 +1,102 @@
+package nvme
+
+import (
+	"testing"
+
+	"activego/internal/sim"
+)
+
+func echoHandler(delay float64, s *sim.Sim) Handler {
+	return func(cmd Command, _ sim.Time, complete func(Completion)) {
+		s.After(delay, func() { complete(Completion{Value: cmd.Opcode}) })
+	}
+}
+
+func TestSubmitCompleteRoundTrip(t *testing.T) {
+	s := sim.New()
+	link := sim.NewLink(s, "l", 1e9, 1e-6)
+	qp := NewQueuePair(s, link, 4, echoHandler(1e-4, s))
+	var done Completion
+	qp.Submit(Command{Opcode: OpRead}, func(c Completion) { done = c })
+	s.Run()
+	if done.Value != OpRead {
+		t.Errorf("completion value %v", done.Value)
+	}
+	// Latency = SQE crossing + handler delay + CQE crossing, each paying
+	// the 1us link latency plus serialization.
+	wall := done.Completed - done.Submitted
+	if wall < 1.02e-4 || wall > 1.04e-4 {
+		t.Errorf("round trip %v, want ~1.02e-4", wall)
+	}
+	sub, comp := qp.Stats()
+	if sub != 1 || comp != 1 {
+		t.Errorf("stats %d/%d", sub, comp)
+	}
+}
+
+func TestQueueDepthBackpressure(t *testing.T) {
+	s := sim.New()
+	link := sim.NewLink(s, "l", 1e12, 0)
+	qp := NewQueuePair(s, link, 2, echoHandler(1e-3, s))
+	completed := 0
+	for i := 0; i < 5; i++ {
+		qp.Submit(Command{Opcode: OpCall}, func(Completion) { completed++ })
+	}
+	if qp.InFlight() != 2 || qp.SoftQueued() != 3 {
+		t.Fatalf("inflight=%d soft=%d, want 2/3", qp.InFlight(), qp.SoftQueued())
+	}
+	s.Run()
+	if completed != 5 {
+		t.Errorf("completed %d, want 5", completed)
+	}
+	if qp.InFlight() != 0 || qp.SoftQueued() != 0 {
+		t.Errorf("queues not drained: %d/%d", qp.InFlight(), qp.SoftQueued())
+	}
+}
+
+func TestCompletionOrderFIFOForEqualService(t *testing.T) {
+	s := sim.New()
+	link := sim.NewLink(s, "l", 1e9, 0)
+	qp := NewQueuePair(s, link, 8, echoHandler(1e-4, s))
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		qp.Submit(Command{}, func(Completion) { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("completion order %v", order)
+		}
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	names := map[Opcode]string{
+		OpRead: "read", OpWrite: "write", OpCall: "call",
+		OpStatus: "status", OpPreempt: "preempt", OpAdmin: "admin",
+	}
+	for op, want := range names {
+		if op.String() != want {
+			t.Errorf("%d: %q", op, op.String())
+		}
+	}
+}
+
+func TestBadConstruction(t *testing.T) {
+	s := sim.New()
+	link := sim.NewLink(s, "l", 1, 0)
+	for _, fn := range []func(){
+		func() { NewQueuePair(s, link, 0, echoHandler(0, s)) },
+		func() { NewQueuePair(s, link, 1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,347 @@
+// Package plan implements the paper's task-assignment machinery: the
+// Equation 1 net-profit model (§II-A) and Algorithm 1, the greedy
+// per-line CSD code assignment (§III-B).
+//
+// Inputs are the sampling phase's extrapolated per-line predictions;
+// outputs are a codegen.Partition plus the per-line estimates the runtime
+// monitor later compares against measured throughput (§III-D).
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"activego/internal/codegen"
+	"activego/internal/platform"
+	"activego/internal/profile"
+)
+
+// Machine carries the platform constants Equation 1 needs.
+type Machine struct {
+	HostCores int
+	HostRate  float64 // work units/s/core
+	CSECores  int
+	CSERate   float64
+	FlashBW   float64 // internal array read bandwidth, bytes/s
+	D2HBW     float64 // external link bandwidth, bytes/s
+	D2HLat    float64 // external link latency, s
+	HostMemBW float64
+	DevMemBW  float64
+	// C is the host→CSD compute slowdown constant of §III-A, measured by
+	// perf counters or the calibration microbenchmark.
+	C float64
+}
+
+// MachineFromPlatform extracts the constants from a live platform,
+// measuring C with the calibration microbenchmark.
+func MachineFromPlatform(p *platform.Platform) Machine {
+	return Machine{
+		HostCores: p.Cfg.Host.Cores,
+		HostRate:  p.Cfg.Host.Rate,
+		CSECores:  p.Cfg.CSD.CSECores,
+		CSERate:   p.Cfg.CSD.CSERate,
+		FlashBW:   p.Dev.Array.Geometry().EffectiveReadBW(),
+		D2HBW:     p.Cfg.Inter.D2HBandwidth,
+		D2HLat:    p.Cfg.Inter.D2HLatency,
+		HostMemBW: p.Cfg.Inter.HostMemBW,
+		DevMemBW:  p.Cfg.Inter.DevMemBW,
+		C:         p.MeasureSlowdown(),
+	}
+}
+
+// VarFlow is one variable's predicted byte volume on a line.
+type VarFlow struct {
+	Name  string
+	Bytes float64
+}
+
+// LineEstimate is Equation 1's per-line quantities, extrapolated to full
+// scale. Times are seconds; DIn/DOut are bytes of named-variable traffic.
+type LineEstimate struct {
+	Line   int
+	Execs  float64
+	CTHost float64 // compute on host (generated native code)
+	CTDev  float64 // compute on CSD = C × CTHost, per §III-A
+	SHost  float64 // storage access time via the host path (array + link)
+	SDev   float64 // storage access time via the device path (array only)
+	DIn    float64 // bytes read from program variables
+	DOut   float64 // bytes written to program variables
+	Reads  []VarFlow
+	Writes []VarFlow
+}
+
+// HostTotal is the line's full cost when it runs on the host.
+func (e *LineEstimate) HostTotal() float64 { return e.CTHost + e.SHost }
+
+// DevTotal is the line's full cost when it runs on the CSD.
+func (e *LineEstimate) DevTotal() float64 { return e.CTDev + e.SDev }
+
+// queueBytes is the per-invocation NVMe traffic of one offloaded line:
+// an SQE down, a CQE back, and the status-update message (§III-C-b).
+const queueBytes = 64 + 16 + 64
+
+// QueueOverhead prices the call-queue dispatch of the line's dynamic
+// instances: each offloaded invocation costs a link round trip plus the
+// queue-entry bytes. Cheap lines feel this; it is why a free-standing
+// scalar line belongs on the host even when its operand is device-side.
+func (e *LineEstimate) QueueOverhead(m Machine) float64 {
+	return e.Execs * (2*m.D2HLat + queueBytes/m.D2HBW)
+}
+
+// ComputeTime prices a cost prediction on a compute unit under a backend.
+func computeTime(p profile.Prediction, cores int, rate float64, b codegen.Backend, memBW float64) float64 {
+	t := p.KernelWork / (float64(cores) * rate)
+	t += b.GlueFactor * p.GlueWork / rate // glue is serial
+	if !b.CopyElim {
+		t += p.CopyBytes / memBW
+	}
+	return t
+}
+
+// BuildEstimates converts sampling-phase predictions into per-line
+// Equation 1 estimates for machine m under backend b.
+func BuildEstimates(preds []profile.Prediction, m Machine, b codegen.Backend) []LineEstimate {
+	out := make([]LineEstimate, len(preds))
+	for i, p := range preds {
+		ctHost := computeTime(p, m.HostCores, m.HostRate, b, m.HostMemBW)
+		// Host storage reads pipeline the array and the external link, so
+		// the host pays the slower stage (the 5 GB/s link), while the CSD
+		// pays only the 9 GB/s array — Equation 1's asymmetry.
+		sHost := p.StorageBytes / m.FlashBW
+		if t := p.StorageBytes / m.D2HBW; t > sHost {
+			sHost = t
+		}
+		e := LineEstimate{
+			Line:   p.Line,
+			Execs:  p.Execs,
+			CTHost: ctHost,
+			CTDev:  m.C * ctHost,
+			SHost:  sHost,
+			SDev:   p.StorageBytes / m.FlashBW,
+			DIn:    p.InBytes,
+			DOut:   p.OutBytes,
+		}
+		for _, r := range p.Reads {
+			e.Reads = append(e.Reads, VarFlow{Name: r.Name, Bytes: r.Bytes})
+		}
+		for _, w := range p.Writes {
+			e.Writes = append(e.Writes, VarFlow{Name: w.Name, Bytes: w.Bytes})
+		}
+		out[i] = e
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Line < out[j].Line })
+	return out
+}
+
+// Result is the planner's output.
+type Result struct {
+	Partition codegen.Partition
+	Estimates []LineEstimate
+	THost     float64 // projected all-host execution time
+	TCSD      float64 // projected time under the chosen partition
+}
+
+// ByLine indexes the estimates.
+func (r *Result) ByLine() map[int]*LineEstimate {
+	idx := make(map[int]*LineEstimate, len(r.Estimates))
+	for i := range r.Estimates {
+		idx[r.Estimates[i].Line] = &r.Estimates[i]
+	}
+	return idx
+}
+
+// deltaOnCSD is the projected change in total time from assigning line e
+// to the CSD. These are lines 4 and 6 of the paper's Algorithm 1: every
+// offloaded line charges its D_out return transfer, and the refund of the
+// D_in shipment is available only up to the output volume the offload
+// chain has actually produced (refundBudget) — an all-host run pays no
+// transfer for host-resident inputs, so there is nothing to save beyond
+// canceling previously charged returns. The budget caps multi-consumer
+// over-refunds conservatively, matching the paper's observation that
+// conservative estimates "at least make no harm" (§V).
+//
+// The second return value is the refund consumed, which the caller
+// deducts from the budget.
+func deltaOnCSD(e *LineEstimate, refundBudget float64, inputNearCSD bool, m Machine) (float64, float64) {
+	xfer := func(bytes float64) float64 { return bytes/m.D2HBW + m.D2HLat }
+	d := e.DevTotal() + e.QueueOverhead(m) - e.HostTotal() + xfer(e.DOut)
+	if inputNearCSD {
+		refund := e.DIn
+		if refund > refundBudget {
+			refund = refundBudget
+		}
+		d -= xfer(refund)
+		return d, refund
+	}
+	d += xfer(e.DIn)
+	return d, 0
+}
+
+// Algorithm1 is the paper's greedy CSD code assignment (§III-B), with the
+// chain-commit refinement its prose demands. The pseudocode's per-line
+// delta charges every offloaded line's D_out return transfer, which the
+// *next* line refunds (its -D_in term) if it joins P_csd too — so a
+// pipeline's first line (a scan whose output is as large as its input)
+// never looks profitable in isolation, even when the pipeline as a whole
+// is. §III-B's text says the algorithm "records the assignment that
+// yields the shortest execution time" as it walks the program: this
+// implementation accumulates a tentative chain of consecutive lines and
+// commits the chain prefix whose cumulative delta is the most negative —
+// exactly the shortest-time assignment over the scan. Algorithm1Literal
+// keeps the unrefined pseudocode for the planner ablation.
+func Algorithm1(estimates []LineEstimate, m Machine) *Result {
+	var tHost float64
+	for i := range estimates {
+		tHost += estimates[i].HostTotal()
+	}
+	tCSD := tHost
+	part := codegen.NewPartition()
+
+	i := 0
+	for i < len(estimates) {
+		// Open a tentative chain at line i and extend it while tracking
+		// the best (lowest cumulative delta) prefix. The refund budget is
+		// the output volume produced so far within the chain: consuming
+		// lines can cancel previously charged returns, nothing more.
+		chainDelta := 0.0
+		bestDelta := 0.0
+		bestEnd := -1 // inclusive index of the best prefix end
+		budget := 0.0
+		j := i
+		for ; j < len(estimates); j++ {
+			e := &estimates[j]
+			// Within a chain the predecessor is tentatively on the CSD;
+			// at the chain head the input is near the CSD only for the
+			// very first program line (raw storage) or when the committed
+			// predecessor is on the CSD.
+			inputNear := true
+			if j == i {
+				inputNear = j == 0 || part.OnCSD(estimates[j-1].Line)
+			}
+			d, used := deltaOnCSD(e, budget, inputNear, m)
+			budget -= used
+			budget += e.DOut
+			chainDelta += d
+			if chainDelta < bestDelta {
+				bestDelta = chainDelta
+				bestEnd = j
+			}
+			// A chain that has drifted far above its best prefix will not
+			// recover within Equation 1's linear accounting; stop extending.
+			if chainDelta > bestDelta+e.HostTotal()+1 {
+				break
+			}
+		}
+		if bestEnd >= 0 && tCSD+bestDelta < tCSD && tCSD <= tHost {
+			for k := i; k <= bestEnd; k++ {
+				part.CSDLines[estimates[k].Line] = true
+			}
+			tCSD += bestDelta
+			i = bestEnd + 1
+			continue
+		}
+		i++
+	}
+	return &Result{Partition: part, Estimates: estimates, THost: tHost, TCSD: tCSD}
+}
+
+// Algorithm1Literal is the unrefined pseudocode of §III-B: each line must
+// lower the projected total by itself at the moment it is considered.
+// Kept for the planner ablation bench.
+func Algorithm1Literal(estimates []LineEstimate, m Machine) *Result {
+	var tHost float64
+	for i := range estimates {
+		tHost += estimates[i].HostTotal()
+	}
+	tCSD := tHost
+	part := codegen.NewPartition()
+	budget := 0.0
+	for i := range estimates {
+		e := &estimates[i]
+		inputNear := i == 0 || part.OnCSD(estimates[i-1].Line)
+		d, used := deltaOnCSD(e, budget, inputNear, m)
+		t := tCSD + d
+		if t < tCSD && tCSD <= tHost {
+			part.CSDLines[e.Line] = true
+			tCSD = t
+			budget -= used
+			budget += e.DOut
+		}
+	}
+	return &Result{Partition: part, Estimates: estimates, THost: tHost, TCSD: tCSD}
+}
+
+// EvaluatePlacement projects the total execution time of an arbitrary
+// placement by walking the program in line order with a variable
+// residency map, mirroring what the executor will actually bill: a line
+// runs at its unit's cost, and any variable it consumes that lives on the
+// other side of the link is transferred (and rehomed) first. Equation 1's
+// quantities are all here — this is the equation evaluated over a whole
+// placement rather than one line.
+func EvaluatePlacement(estimates []LineEstimate, part codegen.Partition, m Machine) float64 {
+	xfer := func(bytes float64) float64 { return bytes/m.D2HBW + m.D2HLat }
+	home := map[string]bool{} // true = device-resident
+	var total float64
+	for i := range estimates {
+		e := &estimates[i]
+		onCSD := part.OnCSD(e.Line)
+		for _, r := range e.Reads {
+			dev, known := home[r.Name]
+			if known && dev != onCSD {
+				total += xfer(r.Bytes)
+				home[r.Name] = onCSD
+			}
+		}
+		for _, w := range e.Writes {
+			home[w.Name] = onCSD
+		}
+		if onCSD {
+			total += e.DevTotal() + e.QueueOverhead(m)
+		} else {
+			total += e.HostTotal()
+		}
+	}
+	return total
+}
+
+// maxOptimalLines bounds Optimal's exhaustive enumeration.
+const maxOptimalLines = 16
+
+// Optimal evaluates every combination of line assignments under
+// EvaluatePlacement and returns the best. This is the planner the
+// ActivePy runtime uses: at one-line-per-region granularity the
+// combination space is small (the paper's own programmer-directed
+// baseline exhausts the same space on real hardware, §V), so the runtime
+// can afford the exact argmin of Equation 1 over its sampled estimates
+// instead of a greedy walk. Algorithm1 and Algorithm1Literal remain
+// available for the planner ablation. Falls back to Algorithm1 beyond
+// maxOptimalLines lines.
+func Optimal(estimates []LineEstimate, m Machine) *Result {
+	n := len(estimates)
+	if n > maxOptimalLines {
+		return Algorithm1(estimates, m)
+	}
+	tHost := EvaluatePlacement(estimates, codegen.NewPartition(), m)
+	best := codegen.NewPartition()
+	bestT := tHost
+	for mask := 1; mask < 1<<n; mask++ {
+		part := codegen.NewPartition()
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				part.CSDLines[estimates[i].Line] = true
+			}
+		}
+		t := EvaluatePlacement(estimates, part, m)
+		if t < bestT {
+			bestT = t
+			best = part
+		}
+	}
+	return &Result{Partition: best, Estimates: estimates, THost: tHost, TCSD: bestT}
+}
+
+// Describe renders the plan for logs and examples.
+func (r *Result) Describe() string {
+	return fmt.Sprintf("plan: offload lines %v (projected %.3fs vs all-host %.3fs)",
+		r.Partition.Lines(), r.TCSD, r.THost)
+}

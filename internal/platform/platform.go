@@ -1,0 +1,74 @@
+// Package platform assembles a complete simulated machine — simulator,
+// interconnect topology, host, CSD, and the shared host/CSD address space
+// — matching the experimental platform of §IV-A. Every experiment and
+// example starts from platform.New.
+package platform
+
+import (
+	"activego/internal/csd"
+	"activego/internal/host"
+	"activego/internal/interconnect"
+	"activego/internal/shmem"
+	"activego/internal/sim"
+)
+
+// Config aggregates the sub-component configurations.
+type Config struct {
+	Host  host.Config
+	CSD   csd.Config
+	Inter interconnect.Config
+}
+
+// DefaultConfig mirrors the paper's platform end to end.
+func DefaultConfig() Config {
+	return Config{
+		Host:  host.DefaultConfig(),
+		CSD:   csd.DefaultConfig(),
+		Inter: interconnect.DefaultConfig(),
+	}
+}
+
+// Platform is one assembled machine.
+type Platform struct {
+	Sim   *sim.Sim
+	Topo  *interconnect.Topology
+	Host  *host.Host
+	Dev   *csd.Device
+	Shmem *shmem.Space
+	Cfg   Config
+}
+
+// New builds a platform with cfg.
+func New(cfg Config) *Platform {
+	s := sim.New()
+	topo := interconnect.New(s, cfg.Inter)
+	return &Platform{
+		Sim:   s,
+		Topo:  topo,
+		Host:  host.New(s, topo, cfg.Host),
+		Dev:   csd.New(s, topo, cfg.CSD),
+		Shmem: shmem.NewSpace(s, topo.D2H),
+		Cfg:   cfg,
+	}
+}
+
+// Default builds a platform with DefaultConfig.
+func Default() *Platform { return New(DefaultConfig()) }
+
+// MeasureSlowdown runs the calibration microbenchmark of §III-A: the same
+// small sample computation is timed on one host core and one CSE core,
+// and the ratio is the constant C ActivePy multiplies host times by to
+// predict CSD times. On platforms whose CSD exposes performance counters
+// the ratio comes from rates directly; this helper is the "run a small
+// sample program on both" fallback, executed in simulation.
+func (p *Platform) MeasureSlowdown() float64 {
+	const sampleWork = 1e6 // work units: small on purpose, like the paper's probe
+	var hostTime, devTime float64
+	probe := sim.New()
+	hostCPU := sim.NewResource(probe, "probe-host", 1, p.Cfg.Host.Rate)
+	devCPU := sim.NewResource(probe, "probe-cse", 1, p.Cfg.CSD.CSERate)
+	hostCPU.Submit(sampleWork, func(start, end sim.Time) { hostTime = end - start })
+	devCPU.Submit(sampleWork, func(start, end sim.Time) { devTime = end - start })
+	probe.Run()
+	return devTime / hostTime
+}

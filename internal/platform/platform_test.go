@@ -1,0 +1,60 @@
+package platform
+
+import (
+	"testing"
+
+	"activego/internal/nvme"
+)
+
+func TestDefaultPlatformWiring(t *testing.T) {
+	p := Default()
+	if p.Host == nil || p.Dev == nil || p.Topo == nil || p.Shmem == nil {
+		t.Fatal("incomplete platform")
+	}
+	// The defining asymmetry of §IV-A: internal array bandwidth exceeds
+	// the external link.
+	internal := p.Dev.Array.Geometry().EffectiveReadBW()
+	external := p.Cfg.Inter.D2HBandwidth
+	if internal <= external {
+		t.Errorf("internal %.1f GB/s must exceed external %.1f GB/s", internal/1e9, external/1e9)
+	}
+	ratio := internal / external
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Errorf("internal:external ratio %.2f, paper's is 9:5", ratio)
+	}
+}
+
+func TestMeasureSlowdown(t *testing.T) {
+	p := Default()
+	c := p.MeasureSlowdown()
+	// The CSE must be slower than the host per core (§II-B1), but in the
+	// same order of magnitude.
+	if c <= 1 || c > 4 {
+		t.Errorf("slowdown constant C = %v, want (1, 4]", c)
+	}
+	// And it must equal the configured rate ratio.
+	want := p.Cfg.Host.Rate / p.Cfg.CSD.CSERate
+	if c < want*0.999 || c > want*1.001 {
+		t.Errorf("C = %v, rate ratio %v", c, want)
+	}
+}
+
+func TestEndToEndReadThroughPlatform(t *testing.T) {
+	p := Default()
+	p.Dev.Store.Preload("x", 1<<20)
+	var got nvme.Completion
+	p.Host.ReadObject(p.Dev, "x", 0, 1<<20, func(c nvme.Completion) { got = c })
+	p.Sim.Run()
+	if got.Completed <= 0 {
+		t.Error("read never completed")
+	}
+}
+
+func TestPlatformsAreIndependent(t *testing.T) {
+	a := Default()
+	b := Default()
+	a.Dev.SetAvailability(0.5)
+	if b.Dev.CSE.Availability() != 1 {
+		t.Error("platforms share state")
+	}
+}

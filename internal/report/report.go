@@ -1,0 +1,146 @@
+// Package report renders experiment results as fixed-width text tables
+// and simple ASCII bar series — the form every figure/table regeneration
+// harness prints its rows in.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped,
+// missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowf appends a row of formatted cells; each argument is rendered
+// with %v unless it is a float64, which renders with %.3f.
+func (t *Table) AddRowf(cells ...any) {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			out[i] = fmt.Sprintf("%.3f", v)
+		case string:
+			out[i] = v
+		default:
+			out[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.AddRow(out...)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(c, widths[i]))
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprint(w, sb.String())
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Bar renders a value as an ASCII bar scaled so that `full` maps to
+// `width` characters, annotated with the value.
+func Bar(value, full float64, width int) string {
+	if full <= 0 {
+		full = 1
+	}
+	n := int(value / full * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return fmt.Sprintf("%-*s %.2f", width, strings.Repeat("#", n), value)
+}
+
+// Series renders (x, y) pairs as "x: bar" lines, one per pair, with bars
+// normalized to the series maximum.
+func Series(title string, xs []string, ys []float64, width int) string {
+	max := 0.0
+	for _, y := range ys {
+		if y > max {
+			max = y
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	wx := 0
+	for _, x := range xs {
+		if len(x) > wx {
+			wx = len(x)
+		}
+	}
+	for i := range xs {
+		fmt.Fprintf(&sb, "%s  %s\n", pad(xs[i], wx), Bar(ys[i], max, width))
+	}
+	return sb.String()
+}

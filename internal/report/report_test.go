@@ -1,0 +1,59 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("title", "name", "value")
+	tbl.AddRow("alpha", "1")
+	tbl.AddRowf("beta", 2.5)
+	out := tbl.String()
+	if !strings.Contains(out, "title") || !strings.Contains(out, "alpha") || !strings.Contains(out, "2.500") {
+		t.Errorf("rendering:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("%d lines:\n%s", len(lines), out)
+	}
+	// Columns align: every data line at least as wide as the header line.
+	if len(lines[3]) < len(strings.TrimRight(lines[1], " ")) {
+		t.Errorf("misaligned:\n%s", out)
+	}
+}
+
+func TestAddRowPadsAndTruncates(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.AddRow("only")
+	tbl.AddRow("x", "y", "z-ignored")
+	out := tbl.String()
+	if strings.Contains(out, "ignored") {
+		t.Error("extra cells must be dropped")
+	}
+}
+
+func TestBar(t *testing.T) {
+	b := Bar(5, 10, 10)
+	if !strings.HasPrefix(b, "#####") || strings.HasPrefix(b, "######") {
+		t.Errorf("bar %q", b)
+	}
+	if Bar(-1, 10, 10)[0] == '#' {
+		t.Error("negative value must render empty")
+	}
+	over := Bar(100, 10, 10)
+	if strings.Count(over, "#") != 10 {
+		t.Errorf("overflow bar %q", over)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := Series("spd", []string{"a", "bb"}, []float64{1, 2}, 20)
+	if !strings.Contains(s, "spd") || !strings.Contains(s, "bb") {
+		t.Errorf("series:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Errorf("series lines %d", len(lines))
+	}
+}

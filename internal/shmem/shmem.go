@@ -1,0 +1,184 @@
+// Package shmem models ActivePy's single shared address space across the
+// host and the CSD (§III-C-a).
+//
+// On the paper's platform the CSD exposes device memory through PCIe BARs
+// (or RDMA for NVMe-oF), so host code reaches device-resident data with
+// plain loads and stores — no I/O library, no bounce buffers. What the
+// simulation needs from that design is (1) a placement record for every
+// live object, (2) the cost of touching an object from the "wrong" side
+// of the link, and (3) cheap snapshot/restore of a task's working set,
+// which is what makes ActivePy's migration practical (§III-D).
+package shmem
+
+import (
+	"fmt"
+	"sort"
+
+	"activego/internal/sim"
+)
+
+// Home says which physical memory backs a segment.
+type Home int
+
+// Placement values.
+const (
+	HostMem Home = iota
+	DeviceMem
+)
+
+func (h Home) String() string {
+	if h == HostMem {
+		return "host"
+	}
+	return "device"
+}
+
+// Segment is one named allocation in the shared space.
+type Segment struct {
+	Name  string
+	Bytes int64
+	Home  Home
+}
+
+// Space is the shared address space: a placement registry plus the link
+// that remote accesses must cross.
+type Space struct {
+	sim  *sim.Sim
+	d2h  *sim.Link
+	segs map[string]*Segment
+
+	hostBytes   int64
+	deviceBytes int64
+	remoteReads float64 // bytes pulled across the link by remote access
+	migrations  uint64
+}
+
+// NewSpace creates an empty space whose remote path is link.
+func NewSpace(s *sim.Sim, d2h *sim.Link) *Space {
+	return &Space{sim: s, d2h: d2h, segs: make(map[string]*Segment)}
+}
+
+// Alloc places a segment. ActivePy's policy is "place data near its
+// consumer" — the caller decides, this records it.
+func (sp *Space) Alloc(name string, bytes int64, home Home) *Segment {
+	if bytes < 0 {
+		panic(fmt.Sprintf("shmem: negative allocation %d for %q", bytes, name))
+	}
+	if old, ok := sp.segs[name]; ok {
+		sp.unaccount(old)
+	}
+	seg := &Segment{Name: name, Bytes: bytes, Home: home}
+	sp.segs[name] = seg
+	sp.account(seg)
+	return seg
+}
+
+func (sp *Space) account(seg *Segment) {
+	if seg.Home == HostMem {
+		sp.hostBytes += seg.Bytes
+	} else {
+		sp.deviceBytes += seg.Bytes
+	}
+}
+
+func (sp *Space) unaccount(seg *Segment) {
+	if seg.Home == HostMem {
+		sp.hostBytes -= seg.Bytes
+	} else {
+		sp.deviceBytes -= seg.Bytes
+	}
+}
+
+// Free removes a segment.
+func (sp *Space) Free(name string) {
+	if seg, ok := sp.segs[name]; ok {
+		sp.unaccount(seg)
+		delete(sp.segs, name)
+	}
+}
+
+// Lookup returns the segment named name.
+func (sp *Space) Lookup(name string) (*Segment, bool) {
+	s, ok := sp.segs[name]
+	return s, ok
+}
+
+// Segments returns all segment names sorted.
+func (sp *Space) Segments() []string {
+	names := make([]string, 0, len(sp.segs))
+	for n := range sp.segs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Resident returns total bytes placed on each side.
+func (sp *Space) Resident() (host, device int64) {
+	return sp.hostBytes, sp.deviceBytes
+}
+
+// Access bills the cost of a compute unit on side `from` touching the
+// named segment in full. Local access is free at this model level (its
+// cost is folded into the consumer's compute work); remote access streams
+// the segment across the link, exactly what a host loop touching
+// BAR-mapped CSD memory does.
+func (sp *Space) Access(name string, from Home, done func(start, end sim.Time)) {
+	seg, ok := sp.segs[name]
+	if !ok {
+		panic(fmt.Sprintf("shmem: access to missing segment %q", name))
+	}
+	if seg.Home == from {
+		now := sp.sim.Now()
+		sp.sim.At(now, func() {
+			if done != nil {
+				done(now, now)
+			}
+		})
+		return
+	}
+	sp.remoteReads += float64(seg.Bytes)
+	sp.d2h.Transfer(float64(seg.Bytes), done)
+}
+
+// RemoteAccessTime estimates the unloaded cost of touching `bytes`
+// remotely; planners and the migration cost model use it.
+func (sp *Space) RemoteAccessTime(bytes int64) float64 {
+	return sp.d2h.TransferTime(float64(bytes))
+}
+
+// Migrate rehomes a set of segments to `to`, streaming the ones that move
+// across the link, and calls done when the last byte lands. This is the
+// "save the local variables and the data in the shared memory space" step
+// of §III-D; regeneration of code is billed separately by the runtime.
+func (sp *Space) Migrate(names []string, to Home, done func(start, end sim.Time)) {
+	var moveBytes int64
+	for _, n := range names {
+		seg, ok := sp.segs[n]
+		if !ok {
+			panic(fmt.Sprintf("shmem: migrate of missing segment %q", n))
+		}
+		if seg.Home != to {
+			moveBytes += seg.Bytes
+			sp.unaccount(seg)
+			seg.Home = to
+			sp.account(seg)
+		}
+	}
+	sp.migrations++
+	start := sp.sim.Now()
+	if moveBytes == 0 {
+		sp.sim.At(start, func() {
+			if done != nil {
+				done(start, start)
+			}
+		})
+		return
+	}
+	sp.d2h.Transfer(float64(moveBytes), done)
+}
+
+// Stats returns remote-access byte volume and migration count.
+func (sp *Space) Stats() (remoteBytes float64, migrations uint64) {
+	return sp.remoteReads, sp.migrations
+}

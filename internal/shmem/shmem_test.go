@@ -1,0 +1,114 @@
+package shmem
+
+import (
+	"testing"
+
+	"activego/internal/sim"
+)
+
+func newSpace() (*sim.Sim, *Space) {
+	s := sim.New()
+	return s, NewSpace(s, sim.NewLink(s, "d2h", 1e9, 1e-6))
+}
+
+func TestAllocAndResident(t *testing.T) {
+	_, sp := newSpace()
+	sp.Alloc("a", 1000, HostMem)
+	sp.Alloc("b", 2000, DeviceMem)
+	h, d := sp.Resident()
+	if h != 1000 || d != 2000 {
+		t.Errorf("resident %d/%d", h, d)
+	}
+	// Re-alloc replaces.
+	sp.Alloc("a", 500, DeviceMem)
+	h, d = sp.Resident()
+	if h != 0 || d != 2500 {
+		t.Errorf("after realloc: %d/%d", h, d)
+	}
+	if got := sp.Segments(); len(got) != 2 || got[0] != "a" {
+		t.Errorf("segments %v", got)
+	}
+}
+
+func TestLocalAccessFree(t *testing.T) {
+	s, sp := newSpace()
+	sp.Alloc("a", 1e6, HostMem)
+	var dur float64 = -1
+	sp.Access("a", HostMem, func(st, en sim.Time) { dur = en - st })
+	s.Run()
+	if dur != 0 {
+		t.Errorf("local access cost %v, want 0", dur)
+	}
+}
+
+func TestRemoteAccessBillsLink(t *testing.T) {
+	s, sp := newSpace()
+	sp.Alloc("a", 1e6, DeviceMem)
+	var dur float64
+	sp.Access("a", HostMem, func(st, en sim.Time) { dur = en - st })
+	s.Run()
+	want := sp.RemoteAccessTime(1e6)
+	if dur < want*0.99 || dur > want*1.01 {
+		t.Errorf("remote access %v, want %v", dur, want)
+	}
+	remote, _ := sp.Stats()
+	if remote != 1e6 {
+		t.Errorf("remote bytes %v", remote)
+	}
+}
+
+func TestMigrateRehomesAndBills(t *testing.T) {
+	s, sp := newSpace()
+	sp.Alloc("a", 1e6, DeviceMem)
+	sp.Alloc("b", 1e6, HostMem)
+	var dur float64
+	sp.Migrate([]string{"a", "b"}, HostMem, func(st, en sim.Time) { dur = en - st })
+	s.Run()
+	h, d := sp.Resident()
+	if h != 2e6 || d != 0 {
+		t.Errorf("after migrate: %d/%d", h, d)
+	}
+	// Only the 1 MB that moved is billed.
+	want := sp.RemoteAccessTime(1e6)
+	if dur < want*0.99 || dur > want*1.01 {
+		t.Errorf("migrate took %v, want %v", dur, want)
+	}
+	_, migs := sp.Stats()
+	if migs != 1 {
+		t.Errorf("migrations %d", migs)
+	}
+}
+
+func TestMigrateNothingIsFree(t *testing.T) {
+	s, sp := newSpace()
+	sp.Alloc("a", 1e6, HostMem)
+	var dur float64 = -1
+	sp.Migrate([]string{"a"}, HostMem, func(st, en sim.Time) { dur = en - st })
+	s.Run()
+	if dur != 0 {
+		t.Errorf("no-op migrate cost %v", dur)
+	}
+}
+
+func TestFree(t *testing.T) {
+	_, sp := newSpace()
+	sp.Alloc("a", 100, HostMem)
+	sp.Free("a")
+	if _, ok := sp.Lookup("a"); ok {
+		t.Error("freed segment still present")
+	}
+	h, _ := sp.Resident()
+	if h != 0 {
+		t.Errorf("resident %d after free", h)
+	}
+}
+
+func TestMissingSegmentPanics(t *testing.T) {
+	_, sp := newSpace()
+	defer func() {
+		if recover() == nil {
+			t.Error("access to missing segment must panic")
+		}
+	}()
+	sp.Access("ghost", HostMem, nil)
+}

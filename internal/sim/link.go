@@ -1,0 +1,89 @@
+package sim
+
+import "fmt"
+
+// Link models a bandwidth-limited, fixed-latency interconnect segment: the
+// host's PCIe/NVMe link to the CSD (5 GB/s in the paper's platform) or the
+// CSD's internal bus to its NAND array (9 GB/s). Transfers serialize FIFO
+// on the wire; each transfer additionally pays the propagation latency
+// once. This is the BW_D2H term of the paper's Equation 1 made concrete.
+type Link struct {
+	sim       *Sim
+	name      string
+	bandwidth float64 // bytes per second
+	latency   float64 // seconds per message
+
+	wireFree Time // when the wire is next idle
+
+	totalBytes     float64
+	totalTransfers uint64
+	busyIntegral   float64
+}
+
+// NewLink creates a link with the given bandwidth (bytes/second) and
+// per-message latency (seconds).
+func NewLink(s *Sim, name string, bandwidth, latency float64) *Link {
+	if bandwidth <= 0 || latency < 0 {
+		panic(fmt.Sprintf("sim: link %q needs positive bandwidth, non-negative latency", name))
+	}
+	return &Link{sim: s, name: name, bandwidth: bandwidth, latency: latency}
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// Bandwidth returns the link bandwidth in bytes per second.
+func (l *Link) Bandwidth() float64 { return l.bandwidth }
+
+// Latency returns the per-message latency in seconds.
+func (l *Link) Latency() float64 { return l.latency }
+
+// Transfer schedules `bytes` to move across the link; done fires when the
+// last byte (plus propagation latency) lands. Zero-byte transfers still
+// pay latency: a doorbell write or a completion entry is a real message.
+func (l *Link) Transfer(bytes float64, done func(start, end Time)) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("sim: link %q negative transfer %v", l.name, bytes))
+	}
+	now := l.sim.Now()
+	start := now
+	if l.wireFree > start {
+		start = l.wireFree
+	}
+	xmit := bytes / l.bandwidth
+	end := start + xmit + l.latency
+	l.wireFree = start + xmit
+	l.totalBytes += bytes
+	l.totalTransfers++
+	l.busyIntegral += xmit
+	l.sim.At(end, func() {
+		if done != nil {
+			done(start, end)
+		}
+	})
+}
+
+// TransferTime returns the unloaded duration of moving `bytes`, without
+// queueing. Planners use this for Equation 1 estimates.
+func (l *Link) TransferTime(bytes float64) float64 {
+	return bytes/l.bandwidth + l.latency
+}
+
+// TotalBytes returns the cumulative bytes moved over the link.
+func (l *Link) TotalBytes() float64 { return l.totalBytes }
+
+// TotalTransfers returns the number of Transfer calls.
+func (l *Link) TotalTransfers() uint64 { return l.totalTransfers }
+
+// Utilization returns the fraction of time the wire has been busy from
+// simulation start to now.
+func (l *Link) Utilization() float64 {
+	if l.sim.Now() == 0 {
+		return 0
+	}
+	u := l.busyIntegral / l.sim.Now()
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

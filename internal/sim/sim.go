@@ -1,0 +1,173 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Every hardware model in activego (flash arrays, NVMe links, CSE cores,
+// the host CPU) is built on this kernel. Time is a float64 number of
+// seconds of simulated time; the kernel never consults the wall clock, so
+// a simulation run is bit-reproducible: same inputs, same event order,
+// same results.
+//
+// The kernel is callback-based. Work is scheduled with At/After and runs
+// when the clock reaches it. Ties are broken by scheduling order, which
+// keeps multi-component models deterministic without locks (the kernel is
+// single-goroutine by design).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in simulated time, in seconds since simulation start.
+type Time = float64
+
+// Event is a scheduled callback. Cancel it to prevent it from firing;
+// cancellation is how resources reschedule in-flight work when their
+// effective service rate changes.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// At reports the simulated time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether Cancel has been called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator instance. The zero value is not ready
+// for use; construct with New.
+type Sim struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// Tracer, if non-nil, receives a line for every fired event when
+	// tracing is enabled via SetTracer.
+	tracer func(t Time, msg string)
+	fired  uint64
+}
+
+// New returns an empty simulator positioned at time zero.
+func New() *Sim {
+	return &Sim{}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// EventsFired returns the number of events executed so far; useful for
+// tests and for sanity-checking model complexity.
+func (s *Sim) EventsFired() uint64 { return s.fired }
+
+// SetTracer installs fn to receive a trace line per fired event. Pass nil
+// to disable tracing.
+func (s *Sim) SetTracer(fn func(t Time, msg string)) { s.tracer = fn }
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past panics: it indicates a model bug, and silently reordering time
+// would destroy determinism guarantees.
+func (s *Sim) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %.12g before now %.12g", t, s.now))
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", t))
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// After schedules fn to run d seconds from now. Negative d panics.
+func (s *Sim) After(d float64, fn func()) *Event {
+	return s.At(s.now+d, fn)
+}
+
+// Pending returns the number of scheduled (possibly canceled) events.
+func (s *Sim) Pending() int { return len(s.events) }
+
+// Step fires the single earliest pending non-canceled event, advancing the
+// clock to its time. It returns false when no events remain.
+func (s *Sim) Step() bool {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.at
+		s.fired++
+		if s.tracer != nil {
+			s.tracer(s.now, "event")
+		}
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the calendar is empty.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil fires events with time <= t, then advances the clock to exactly
+// t. Events scheduled after t remain pending.
+func (s *Sim) RunUntil(t Time) {
+	for {
+		// Peek at the earliest live event.
+		idx := -1
+		for len(s.events) > 0 {
+			if s.events[0].canceled {
+				heap.Pop(&s.events)
+				continue
+			}
+			idx = 0
+			break
+		}
+		if idx == -1 || s.events[0].at > t {
+			break
+		}
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}

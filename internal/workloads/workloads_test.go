@@ -1,0 +1,139 @@
+package workloads
+
+import (
+	"testing"
+
+	"activego/internal/lang/interp"
+	"activego/internal/lang/parser"
+)
+
+func TestCatalogShape(t *testing.T) {
+	all := All()
+	if len(all) != 10 {
+		t.Fatalf("catalog has %d workloads, want 10 (Table I's nine + SparseMV)", len(all))
+	}
+	if len(TableI()) != 9 {
+		t.Fatalf("Table I subset has %d", len(TableI()))
+	}
+	seen := map[string]bool{}
+	for _, s := range all {
+		if seen[s.Name] {
+			t.Errorf("duplicate workload %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.InTableI && s.PaperBytes == 0 {
+			t.Errorf("%s: Table I entry without a paper size", s.Name)
+		}
+		if s.Description == "" {
+			t.Errorf("%s: missing description", s.Name)
+		}
+	}
+	if _, ok := ByName("sparsemv"); !ok {
+		t.Error("sparsemv missing")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("phantom workload")
+	}
+}
+
+// TestEveryWorkloadRunsAndChecks executes every program at test scale on
+// the plain interpreter and validates results against the reference Go
+// implementations — the foundation every placement experiment stands on.
+func TestEveryWorkloadRunsAndChecks(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			inst := spec.Build(TestParams())
+			prog, err := parser.Parse(inst.Source)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			_, env, err := interp.Run(prog, inst.Registry.Context(1))
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if err := inst.Check(env); err != nil {
+				t.Fatalf("reference check: %v", err)
+			}
+		})
+	}
+}
+
+// TestSampledRunsStayValid: every program must execute correctly on the
+// sampling phase's scaled-down inputs too — shape compatibility under
+// sampling is a prerequisite for §III-A.
+func TestSampledRunsStayValid(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			inst := spec.Build(TestParams())
+			prog, err := parser.Parse(inst.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, scale := range []float64{1.0 / 64, 1.0 / 8} {
+				if _, _, err := interp.Run(prog, inst.Registry.Context(scale)); err != nil {
+					t.Fatalf("scale %g: %v", scale, err)
+				}
+			}
+		})
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	p := TestParams()
+	for _, name := range []string{"tpch-6", "kmeans", "pagerank"} {
+		spec, _ := ByName(name)
+		a := spec.Build(p)
+		b := spec.Build(p)
+		if a.Registry.TotalBytes() != b.Registry.TotalBytes() {
+			t.Errorf("%s: sizes differ across builds", name)
+		}
+	}
+}
+
+func TestScaleDivControlsSize(t *testing.T) {
+	spec, _ := ByName("blackscholes")
+	small := spec.Build(Params{ScaleDiv: 8192, Seed: 1})
+	large := spec.Build(Params{ScaleDiv: 2048, Seed: 1})
+	ratio := float64(large.Registry.TotalBytes()) / float64(small.Registry.TotalBytes())
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("4x scale change produced %vx bytes", ratio)
+	}
+}
+
+func TestProgramsHaveNoISPHints(t *testing.T) {
+	// The whole point of the paper: programs carry no annotations. Ensure
+	// no source mentions device/CSD/offload constructs.
+	for _, spec := range All() {
+		inst := spec.Build(TestParams())
+		for _, bad := range []string{"csd", "offload", "device", "pragma"} {
+			if containsFold(inst.Source, bad) {
+				t.Errorf("%s: source mentions %q", spec.Name, bad)
+			}
+		}
+	}
+}
+
+func containsFold(s, sub string) bool {
+	lower := func(b byte) byte {
+		if b >= 'A' && b <= 'Z' {
+			return b + 32
+		}
+		return b
+	}
+	n, m := len(s), len(sub)
+	for i := 0; i+m <= n; i++ {
+		ok := true
+		for j := 0; j < m; j++ {
+			if lower(s[i+j]) != sub[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
