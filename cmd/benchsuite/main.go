@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchsuite [-exp all|table1|fig2|fig4|fig5|accuracy|runtimeopt] [-scalediv N] [-seed S]
+//	benchsuite [-exp all|table1|fig2|fig4|fig5|accuracy|runtimeopt|robustness] [-scalediv N] [-seed S]
 //
 // Inputs are synthesized at 1/scalediv of Table I's sizes (default 512,
 // ~10-18 MB per application); the shape of every result — who wins, by
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, fig2, fig4, fig5, accuracy, runtimeopt")
+	exp := flag.String("exp", "all", "experiment: all, table1, fig2, fig4, fig5, accuracy, runtimeopt, robustness")
 	scaleDiv := flag.Int64("scalediv", 512, "divide Table I input sizes by this factor")
 	seed := flag.Int64("seed", 42, "generator seed")
 	flag.Parse()
@@ -53,8 +53,12 @@ func main() {
 			_, tbl, err := experiments.RuntimeOpt(params)
 			return render(tbl, err)
 		},
+		"robustness": func() error {
+			_, tbl, err := experiments.Robustness(params)
+			return render(tbl, err)
+		},
 	}
-	order := []string{"table1", "fig2", "fig4", "fig5", "accuracy", "runtimeopt"}
+	order := []string{"table1", "fig2", "fig4", "fig5", "accuracy", "runtimeopt", "robustness"}
 
 	if *exp == "all" {
 		for _, name := range order {

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	csdsim [-read-mb N] [-write-mb N] [-calls N] [-availability F]
+//	       [-fault-rate F] [-fault-seed N] [-retry-timeout S]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 
 	"activego/internal/csd"
+	"activego/internal/fault"
 	"activego/internal/nvme"
 	"activego/internal/platform"
 	"activego/internal/sim"
@@ -25,11 +27,21 @@ func main() {
 	writeMB := flag.Int64("write-mb", 16, "stream this many MB from the host to the device")
 	calls := flag.Int("calls", 8, "CSD function invocations through the call queue")
 	avail := flag.Float64("availability", 1.0, "CSE availability fraction")
+	faultRate := flag.Float64("fault-rate", 0, "per-roll probability of NVMe completion drops and transient flash errors")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault plan seed (same seed + same flags = identical run)")
+	retryTimeout := flag.Float64("retry-timeout", 0.05, "host completion timer, seconds (with -fault-rate > 0)")
 	flag.Parse()
 
 	p := platform.Default()
 	if *avail < 1 {
 		p.Dev.SetAvailability(*avail)
+	}
+	if *faultRate > 0 {
+		p.InstallFaults(fault.NewPlan(*faultSeed,
+			fault.Rule{Point: fault.NVMeCompletionDrop, Rate: *faultRate},
+			fault.Rule{Point: fault.NVMeCommandLoss, Rate: *faultRate / 2},
+			fault.Rule{Point: fault.FlashTransient, Rate: *faultRate},
+		), nvme.RetryPolicy{Timeout: *retryTimeout, MaxAttempts: 4, Backoff: 1e-3})
 	}
 	g := p.Dev.Array.Geometry()
 	fmt.Printf("CSD: %d CSE cores @%.2fe9 units/s, %.1f TB flash (%d ch x %d dies), array %.2f GB/s, link %.2f GB/s\n",
@@ -88,5 +100,11 @@ func main() {
 		reads, programs, erases, rb/(1<<20), wb/(1<<20))
 	fmt.Printf("ftl: %d GC runs, %d pages moved, %d free blocks; nvme: %d submitted, %d completed\n",
 		gcRuns, moved, free, sub, comp)
+	if *faultRate > 0 {
+		timeouts, retries, droppedC, lostC, aborted := p.Dev.QP.FaultStats()
+		corrected, uecc := p.Dev.Array.FaultStats()
+		fmt.Printf("faults: %d timeouts, %d retries, %d dropped CQEs, %d lost SQEs, %d aborted; flash %d corrected / %d uncorrectable\n",
+			timeouts, retries, droppedC, lostC, aborted, corrected, uecc)
+	}
 	fmt.Printf("events fired: %d; simulated time: %.3f ms\n", p.Sim.EventsFired(), p.Sim.Now()*1e3)
 }

@@ -12,6 +12,7 @@ package csd
 import (
 	"fmt"
 
+	"activego/internal/fault"
 	"activego/internal/flash"
 	"activego/internal/interconnect"
 	"activego/internal/nvme"
@@ -66,6 +67,11 @@ type Device struct {
 	preemptRequested bool
 	calls            uint64
 	statusMsgs       uint64
+
+	faults     *fault.Plan
+	resetUntil sim.Time
+	resets     uint64
+	stalls     uint64
 }
 
 // New builds a device on simulator s attached via topo.
@@ -86,12 +92,28 @@ func New(s *sim.Sim, topo *interconnect.Topology, cfg Config) *Device {
 	return d
 }
 
-// handle is the device-side command processor.
+// handle is the device-side command processor. A command arriving while
+// the controller is resetting is held and dispatched when the reset
+// window closes — the firmware's boot-time fetch of the pending queue.
 func (d *Device) handle(cmd nvme.Command, submitted sim.Time, complete func(nvme.Completion)) {
+	if d.Sim.Now() < d.resetUntil {
+		d.Sim.AtNamed(d.resetUntil, "csd-reset-hold", func() { d.dispatch(cmd, submitted, complete) })
+		return
+	}
+	d.dispatch(cmd, submitted, complete)
+}
+
+func (d *Device) dispatch(cmd nvme.Command, submitted sim.Time, complete func(nvme.Completion)) {
 	switch cmd.Opcode {
 	case nvme.OpRead:
-		// Array read, then stream the data to the host over the link.
-		d.Store.Read(cmd.Object, cmd.Offset, cmd.Bytes, func(start, _ sim.Time) {
+		// Array read, then stream the data to the host over the link. An
+		// uncorrectable flash error completes with a real media status —
+		// the host never sees the garbage data.
+		d.Store.ReadChecked(cmd.Object, cmd.Offset, cmd.Bytes, func(start, _ sim.Time, err error) {
+			if err != nil {
+				complete(nvme.Completion{Status: nvme.StatusMediaError, Value: err.Error(), Started: start})
+				return
+			}
 			d.Topo.D2H.Transfer(float64(cmd.Bytes), func(_, end sim.Time) {
 				complete(nvme.Completion{Started: start})
 			})
@@ -106,26 +128,45 @@ func (d *Device) handle(cmd nvme.Command, submitted sim.Time, complete func(nvme
 	case nvme.OpCall:
 		call, ok := cmd.Payload.(Call)
 		if !ok {
-			complete(nvme.Completion{Status: 1, Value: fmt.Sprintf("csd: bad call payload %T", cmd.Payload)})
+			complete(nvme.Completion{Status: nvme.StatusInvalidField, Value: fmt.Sprintf("csd: bad call payload %T", cmd.Payload)})
 			return
 		}
 		d.calls++
-		start := d.Sim.Now()
-		call(d, func(status uint16, value any) {
-			complete(nvme.Completion{Status: status, Value: value, Started: start})
-		})
-	case nvme.OpPreempt:
-		d.preemptRequested = true
-		fns := d.preemptFns
-		d.preemptFns = nil
-		for _, fn := range fns {
-			fn()
+		run := func() {
+			start := d.Sim.Now()
+			call(d, func(status uint16, value any) {
+				complete(nvme.Completion{Status: status, Value: value, Started: start})
+			})
 		}
+		// Injected CSE stall: firmware hogs the engine before the call
+		// starts (the command stays in flight, so a host completion timer
+		// can fire against it).
+		if dur, ok := d.faults.DecideDuration(fault.CSEStall, d.Sim.Now()); ok && dur > 0 {
+			d.stalls++
+			d.Sim.AfterNamed(dur, "cse-stall", run)
+			return
+		}
+		run()
+	case nvme.OpPreempt:
+		d.preempt()
 		complete(nvme.Completion{})
 	case nvme.OpAdmin:
 		complete(nvme.Completion{Value: d.Cfg})
 	default:
-		complete(nvme.Completion{Status: 2, Value: fmt.Sprintf("csd: unknown opcode %v", cmd.Opcode)})
+		complete(nvme.Completion{Status: nvme.StatusInvalidOpcode, Value: fmt.Sprintf("csd: unknown opcode %v", cmd.Opcode)})
+	}
+}
+
+// preempt is the single §III-D case-1 demand path: it latches the request
+// and fires every registered OnPreempt callback. Both the OpPreempt
+// command handler and DemandAt route through it, so compiled CSD code
+// learns of the demand regardless of how it arrived.
+func (d *Device) preempt() {
+	d.preemptRequested = true
+	fns := d.preemptFns
+	d.preemptFns = nil
+	for _, fn := range fns {
+		fn()
 	}
 }
 
@@ -145,8 +186,41 @@ func (d *Device) ClearPreempt() { d.preemptRequested = false }
 // DemandAt schedules a high-priority tenant's demand for the device at
 // time t: the §III-D case-1 trigger, delivered through the command pages.
 func (d *Device) DemandAt(t sim.Time) {
-	d.Sim.At(t, func() { d.preemptRequested = true })
+	d.Sim.At(t, func() { d.preempt() })
 }
+
+// Reset models a full controller reset at the current instant: every
+// device-owned command is aborted (the host's retry machinery, if armed,
+// re-drives them) and the device goes dark for duration seconds —
+// commands arriving meanwhile are held until the reset window closes.
+func (d *Device) Reset(duration float64) {
+	if duration < 0 {
+		panic(fmt.Sprintf("csd: negative reset duration %v", duration))
+	}
+	d.resets++
+	if until := d.Sim.Now() + duration; until > d.resetUntil {
+		d.resetUntil = until
+	}
+	d.QP.AbortAll(nvme.StatusAborted)
+}
+
+// InstallFaults arms every injection point the device owns: the NVMe
+// queue pair (lost commands, dropped completions), the flash array
+// (transient and uncorrectable read errors), CSE stalls, and scheduled
+// device resets. A nil plan disarms the stochastic points.
+func (d *Device) InstallFaults(plan *fault.Plan) {
+	d.faults = plan
+	d.QP.SetFaults(plan)
+	d.Array.SetFaults(plan)
+	for _, r := range plan.Resets() {
+		r := r
+		d.Sim.AtNamed(r.At, "device-reset", func() { d.Reset(r.Duration) })
+	}
+}
+
+// FaultStats returns device-level failure counters: controller resets
+// performed and injected CSE stalls.
+func (d *Device) FaultStats() (resets, stalls uint64) { return d.resets, d.stalls }
 
 // SetAvailability changes the fraction of CSE time this simulation's jobs
 // receive; Figure 2's x-axis is exactly this knob (compute contention

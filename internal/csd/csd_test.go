@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"activego/internal/csd"
+	"activego/internal/fault"
 	"activego/internal/interconnect"
 	"activego/internal/nvme"
 	"activego/internal/sim"
@@ -86,6 +87,101 @@ func TestPreempt(t *testing.T) {
 	s.Run()
 	if !preempted {
 		t.Error("preempt hook not fired")
+	}
+}
+
+// DemandAt must fire registered OnPreempt callbacks, exactly like a
+// host-posted OpPreempt command: both demand paths share one helper.
+func TestDemandAtFiresOnPreemptCallbacks(t *testing.T) {
+	s, d := newDevice()
+	preempted := false
+	d.OnPreempt(func() { preempted = true })
+	d.DemandAt(1e-3)
+	s.Run()
+	if !preempted {
+		t.Error("DemandAt did not fire OnPreempt callbacks")
+	}
+	if !d.PreemptRequested() {
+		t.Error("DemandAt did not latch the request")
+	}
+}
+
+// An uncorrectable flash read through the queue pair must complete with a
+// real media-error status, not silent success.
+func TestReadCommandSurfacesMediaError(t *testing.T) {
+	s, d := newDevice()
+	d.InstallFaults(fault.NewPlan(1, fault.Rule{Point: fault.FlashUncorrectable, Rate: 1, MaxCount: 1}))
+	d.Store.Preload("obj", 1<<20)
+	var done nvme.Completion
+	d.QP.Submit(nvme.Command{Opcode: nvme.OpRead, Object: "obj", Bytes: 1 << 20}, func(c nvme.Completion) { done = c })
+	s.Run()
+	if done.Status != nvme.StatusMediaError {
+		t.Fatalf("status %#x, want StatusMediaError", done.Status)
+	}
+}
+
+// An injected CSE stall delays a call's start without failing it.
+func TestCSEStallDelaysCall(t *testing.T) {
+	run := func(plan *fault.Plan) sim.Time {
+		s, d := newDevice()
+		if plan != nil {
+			d.InstallFaults(plan)
+		}
+		var end sim.Time
+		d.QP.Submit(nvme.Command{
+			Opcode: nvme.OpCall,
+			Payload: csd.Call(func(dev *csd.Device, done func(uint16, any)) {
+				dev.CSE.Submit(1e6, func(_, _ sim.Time) { done(0, nil) })
+			}),
+		}, func(c nvme.Completion) { end = c.Completed })
+		s.Run()
+		return end
+	}
+	clean := run(nil)
+	const stall = 2e-3
+	stalled := run(fault.NewPlan(1, fault.Rule{Point: fault.CSEStall, Rate: 1, MaxCount: 1, Duration: stall}))
+	gap := stalled - clean
+	if gap < stall*0.99 || gap > stall*1.01 {
+		t.Errorf("stall stretched the call by %v, want ~%v", gap, stall)
+	}
+}
+
+// A scheduled device reset aborts the in-flight call; with a retry policy
+// armed the host re-drives it after the device returns, and the command
+// still ends in success.
+func TestDeviceResetAbortsAndRecovers(t *testing.T) {
+	s, d := newDevice()
+	d.QP.SetRetryPolicy(nvme.RetryPolicy{Timeout: 0.5, MaxAttempts: 3, Backoff: 1e-3})
+	const resetAt, dark = 1e-3, 5e-3
+	d.InstallFaults(fault.NewPlan(1, fault.Rule{Point: fault.DeviceReset, At: resetAt, Duration: dark}))
+	runs := 0
+	var done nvme.Completion
+	d.QP.Submit(nvme.Command{
+		Opcode: nvme.OpCall,
+		Payload: csd.Call(func(dev *csd.Device, complete func(uint16, any)) {
+			runs++
+			// Long enough to straddle the reset on the first attempt.
+			dev.CSE.Submit(2.4e9*2e-3*8, func(_, _ sim.Time) { complete(0, nil) })
+		}),
+	}, func(c nvme.Completion) { done = c })
+	s.Run()
+	if done.Status != nvme.StatusOK {
+		t.Fatalf("status %#x after reset recovery", done.Status)
+	}
+	if runs != 2 {
+		t.Errorf("call ran %d times, want 2 (original aborted + one re-drive)", runs)
+	}
+	// The re-driven attempt must not have started inside the dark window.
+	if done.Completed < resetAt+dark {
+		t.Errorf("completed at %v, inside the reset window ending %v", done.Completed, resetAt+dark)
+	}
+	resets, _ := d.FaultStats()
+	if resets != 1 {
+		t.Errorf("resets %d", resets)
+	}
+	_, _, _, _, aborted := d.QP.FaultStats()
+	if aborted != 1 {
+		t.Errorf("aborted %d", aborted)
 	}
 }
 

@@ -66,6 +66,33 @@ func DefaultMigration() MigrationPolicy {
 	return MigrationPolicy{Enabled: true, IPCFraction: 0.85, DecreaseFactor: 0.95}
 }
 
+// RecoveryPolicy configures failure-driven graceful degradation. When a
+// CSD line fails — a call completion with a non-OK NVMe status (timeout
+// after exhausted command retries, media error, reset abort) or a
+// device-side flash failure — the executor first re-posts the line, then
+// fails over to host re-execution. Disabled, any non-OK status surfaces
+// as a run error (no failure is ever silently treated as success).
+type RecoveryPolicy struct {
+	Enabled bool
+	// LineRetries is how many times a failed line is re-run on its
+	// current unit before failing over (each re-post is billed in full:
+	// queue crossing, storage, compute).
+	LineRetries int
+	// FailoverRemaining moves the rest of the partition to the host when
+	// a CSD line fails over — the failure-triggered analogue of §III-D
+	// migration, billing code regeneration up front and lazy data pulls
+	// as remaining host lines first touch device-resident variables. Off,
+	// only the failed line re-runs on the host and later lines go back to
+	// the CSD.
+	FailoverRemaining bool
+}
+
+// DefaultRecovery returns the recovery policy of the full runtime: one
+// line-level retry, then host failover of the remaining partition.
+func DefaultRecovery() RecoveryPolicy {
+	return RecoveryPolicy{Enabled: true, LineRetries: 1, FailoverRemaining: true}
+}
+
 // Options configures one execution.
 type Options struct {
 	Backend   codegen.Backend
@@ -89,6 +116,9 @@ type Options struct {
 	// UseCallQueue routes CSD lines through the NVMe call queue; off, CSD
 	// lines are invoked directly (used to ablate queue overhead).
 	UseCallQueue bool
+	// Recovery configures failure-driven degradation; the zero value
+	// turns any line failure into a run error.
+	Recovery RecoveryPolicy
 }
 
 // overheadScale resolves the overhead multiplier.
@@ -118,13 +148,19 @@ type Progress struct {
 type Result struct {
 	Start, End    sim.Time
 	Duration      float64
-	Migrated      bool
-	MigratedAt    sim.Time
+	Migrated      bool     // §III-D monitor decided to migrate
+	MigratedAt    sim.Time // instant of monitor migration or host failover
 	RecordsOnCSD  int
 	RecordsOnHost int
 	D2HBytes      float64 // external-link bytes moved during the run
 	StatusMsgs    uint64
 	CSDProgress   []Progress
+
+	// Failure-path accounting (all zero on a fault-free run).
+	FailedCalls      uint64 // offloaded line invocations that returned a non-OK status
+	Retries          uint64 // NVMe command re-issues plus exec-level line re-posts
+	Timeouts         uint64 // NVMe completion-timer expiries observed during the run
+	FailoverMigrated bool   // a CSD failure moved the remaining partition to the host
 }
 
 type varState struct {
@@ -147,9 +183,14 @@ type executor struct {
 	doneCSDWork  float64
 	lastObserved float64
 
-	d2hBytes0   float64
-	statusMsgs0 uint64
-	done        bool
+	lineAttempts int    // failed attempts of the current record
+	lineRetries  uint64 // total exec-level line re-posts
+
+	d2hBytes0     float64
+	statusMsgs0   uint64
+	nvmeTimeouts0 uint64
+	nvmeRetries0  uint64
+	done          bool
 }
 
 // Run replays trace on p under opts and returns when the simulated
@@ -174,6 +215,7 @@ func Run(p *platform.Platform, trace *interp.Trace, opts Options) (*Result, erro
 	}
 	e.d2hBytes0 = p.Topo.D2H.TotalBytes()
 	_, e.statusMsgs0 = p.Dev.Stats()
+	e.nvmeTimeouts0, e.nvmeRetries0, _, _, _ = p.Dev.QP.FaultStats()
 	e.lastObserved = effectiveRate(p)
 
 	overhead := (opts.SamplingOverhead + opts.Backend.CompileOverhead) * opts.overheadScale()
@@ -183,6 +225,12 @@ func Run(p *platform.Platform, trace *interp.Trace, opts Options) (*Result, erro
 		return nil, e.err
 	}
 	if !e.done {
+		if e.idx < len(trace.Records) {
+			return nil, fmt.Errorf(
+				"exec: simulation drained before the program finished: stuck at record %d/%d (source line %d); "+
+					"a lost command with no completion timer strands the run — arm an nvme.RetryPolicy or Options.Recovery",
+				e.idx, len(trace.Records), trace.Records[e.idx].Line)
+		}
 		return nil, fmt.Errorf("exec: simulation drained before the program finished (deadlock in the event chain)")
 	}
 	return e.res, nil
@@ -206,6 +254,9 @@ func (e *executor) finish() {
 	e.res.D2HBytes = e.p.Topo.D2H.TotalBytes() - e.d2hBytes0
 	_, msgs := e.p.Dev.Stats()
 	e.res.StatusMsgs = msgs - e.statusMsgs0
+	timeouts, retries, _, _, _ := e.p.Dev.QP.FaultStats()
+	e.res.Timeouts = timeouts - e.nvmeTimeouts0
+	e.res.Retries = (retries - e.nvmeRetries0) + e.lineRetries
 }
 
 func (e *executor) step() {
@@ -218,18 +269,80 @@ func (e *executor) step() {
 	if !e.migrated && e.opts.Partition.OnCSD(rec.Line) {
 		unit = UnitCSD
 	}
+	e.dispatch(rec, unit)
+}
+
+// dispatch runs the current record on unit, routing CSD lines through the
+// call queue when configured; failures land in failLine.
+func (e *executor) dispatch(rec *interp.LineRecord, unit Unit) {
 	if unit == UnitCSD && e.opts.UseCallQueue {
 		// §III-C-b: the host posts the line invocation to the call queue
 		// mapped in device memory; the CSE picks it up, runs it, and the
 		// completion path carries the result notification back.
 		e.p.Host.Call(e.p.Dev, csd.Call(func(_ *csd.Device, done func(uint16, any)) {
-			e.runRecord(rec, UnitCSD, func() { done(0, nil) })
-		}), func(nvme.Completion) {
+			e.runRecord(rec, UnitCSD, func(err error) {
+				if err != nil {
+					done(nvme.StatusMediaError, err.Error())
+					return
+				}
+				done(0, nil)
+			})
+		}), func(c nvme.Completion) {
+			if c.Status != nvme.StatusOK {
+				e.failLine(rec, UnitCSD, fmt.Errorf(
+					"exec: record %d (line %d): CSD call failed with NVMe status %#x (%v)",
+					e.idx, rec.Line, c.Status, c.Value))
+				return
+			}
 			e.afterRecord(rec, UnitCSD)
 		})
 		return
 	}
-	e.runRecord(rec, unit, func() { e.afterRecord(rec, unit) })
+	e.runRecord(rec, unit, func(err error) {
+		if err != nil {
+			e.failLine(rec, unit, fmt.Errorf("exec: record %d (line %d) on %s: %w", e.idx, rec.Line, unit, err))
+			return
+		}
+		e.afterRecord(rec, unit)
+	})
+}
+
+// failLine handles a failed line per Options.Recovery: re-post it on its
+// unit, fail over to the host, or surface the error. Failures are never
+// silently treated as success — with recovery off, a non-OK completion
+// aborts the run.
+func (e *executor) failLine(rec *interp.LineRecord, unit Unit, cause error) {
+	if unit == UnitCSD {
+		e.res.FailedCalls++
+	}
+	rp := e.opts.Recovery
+	if !rp.Enabled {
+		e.err = cause
+		return
+	}
+	if e.lineAttempts < rp.LineRetries {
+		e.lineAttempts++
+		e.lineRetries++
+		e.dispatch(rec, unit)
+		return
+	}
+	if unit == UnitHost {
+		// Already on the unit of last resort.
+		e.err = cause
+		return
+	}
+	// Retries exhausted on the CSD: fail over to host re-execution of
+	// this line. Data stays put; host lines pull device-resident
+	// variables lazily, exactly as after a §III-D migration.
+	e.lineAttempts = 0
+	if rp.FailoverRemaining && !e.migrated {
+		e.migrated = true
+		e.res.FailoverMigrated = true
+		e.res.MigratedAt = e.p.Sim.Now()
+		e.p.Sim.After(e.opts.regenOverhead(), func() { e.dispatch(rec, UnitHost) })
+		return
+	}
+	e.dispatch(rec, UnitHost)
 }
 
 // afterRecord finalizes variable placement, runs the monitor, and
@@ -256,6 +369,12 @@ func (e *executor) afterRecord(rec *interp.LineRecord, unit Unit) {
 	} else {
 		e.res.RecordsOnHost++
 	}
+	e.advance()
+}
+
+// advance moves to the next record, resetting the per-line attempt count.
+func (e *executor) advance() {
 	e.idx++
+	e.lineAttempts = 0
 	e.step()
 }

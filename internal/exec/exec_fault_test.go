@@ -1,0 +1,168 @@
+package exec
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"activego/internal/codegen"
+	"activego/internal/fault"
+	"activego/internal/nvme"
+	"activego/internal/platform"
+)
+
+// A zero-fault plan with the full supervision stack armed must reproduce
+// the bare run bit-for-bit: timers are created and cancelled, rolls never
+// fire, and no event's timing moves. This is the "fault machinery is free
+// when idle" acceptance bar.
+func TestZeroFaultPlanReproducesBareRun(t *testing.T) {
+	trace := traceFor(t, scanSrc, 1<<16)
+	opts := Options{Backend: codegen.Native, Partition: codegen.NewPartition(1, 2, 3), UseCallQueue: true}
+
+	bare, err := Run(platform.Default(), trace, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := platform.Default()
+	p.InstallFaults(fault.NewPlan(7,
+		fault.Rule{Point: fault.NVMeCompletionDrop, Rate: 0},
+		fault.Rule{Point: fault.FlashTransient, Rate: 0},
+	), nvme.DefaultRetryPolicy())
+	armedOpts := opts
+	armedOpts.Recovery = DefaultRecovery()
+	armed, err := Run(p, trace, armedOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(bare, armed) {
+		t.Errorf("armed-but-idle fault stack changed the run:\nbare  %+v\narmed %+v", bare, armed)
+	}
+}
+
+// Same seed + same rules must yield an identical Result — including the
+// retry, timeout, and failure counters — across independent runs.
+func TestFaultyRunIsDeterministic(t *testing.T) {
+	trace := traceFor(t, scanSrc, 1<<16)
+	run := func() *Result {
+		p := platform.Default()
+		p.InstallFaults(fault.NewPlan(42,
+			fault.Rule{Point: fault.NVMeCompletionDrop, Rate: 0.4},
+			fault.Rule{Point: fault.FlashTransient, Rate: 0.5},
+			fault.Rule{Point: fault.CSEStall, Rate: 0.3, Duration: 1e-3},
+		), nvme.RetryPolicy{Timeout: 1, MaxAttempts: 4, Backoff: 1e-3})
+		res, err := Run(p, trace, Options{
+			Backend: codegen.Native, Partition: codegen.NewPartition(1, 2, 3),
+			UseCallQueue: true, Recovery: DefaultRecovery(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	first := run()
+	for i := 0; i < 2; i++ {
+		if again := run(); !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d diverged:\nfirst %+v\nagain %+v", i+2, first, again)
+		}
+	}
+}
+
+// An unrecoverable CSD call failure mid-run — every completion dropped
+// from a cut-over instant on, exhausting both NVMe command retries and the
+// exec-level line retry — must fail the remaining partition over to the
+// host and still complete the program, with every record accounted for.
+func TestUnrecoverableCSDFailureFailsOverToHost(t *testing.T) {
+	trace := traceFor(t, scanSrc, 1<<16)
+	opts := Options{
+		Backend: codegen.Native, Partition: codegen.NewPartition(1, 2, 3),
+		UseCallQueue: true, Recovery: DefaultRecovery(), OverheadScale: 1e-6,
+	}
+
+	// Clean pass to learn when the first offloaded record completes; the
+	// injection window opens right there, so record 0 succeeds on the CSD
+	// and record 1 becomes permanently unreachable through the queue.
+	clean, err := Run(platform.Default(), trace, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.CSDProgress) == 0 {
+		t.Fatal("clean run produced no CSD progress")
+	}
+	cut := clean.CSDProgress[0].Time
+
+	p := platform.Default()
+	p.InstallFaults(
+		fault.NewPlan(1, fault.Rule{Point: fault.NVMeCompletionDrop, Rate: 1, Start: cut}),
+		nvme.RetryPolicy{Timeout: 0.5, MaxAttempts: 2, Backoff: 1e-3},
+	)
+	res, err := Run(p, trace, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FailoverMigrated {
+		t.Error("FailoverMigrated not set")
+	}
+	if res.Migrated {
+		t.Error("failure-driven failover must not masquerade as a §III-D monitor migration")
+	}
+	if res.RecordsOnCSD != 1 || res.RecordsOnHost != 2 {
+		t.Errorf("records CSD=%d host=%d, want 1/2", res.RecordsOnCSD, res.RecordsOnHost)
+	}
+	if got := res.RecordsOnCSD + res.RecordsOnHost; got != len(trace.Records) {
+		t.Errorf("%d of %d records accounted for", got, len(trace.Records))
+	}
+	// One CSD line attempted twice, each attempt burning MaxAttempts=2
+	// command issues before surfacing a timeout.
+	if res.FailedCalls != 2 {
+		t.Errorf("FailedCalls %d, want 2", res.FailedCalls)
+	}
+	if res.Timeouts != 4 {
+		t.Errorf("Timeouts %d, want 4", res.Timeouts)
+	}
+	if res.Retries != 3 { // 2 NVMe re-issues + 1 exec line re-post
+		t.Errorf("Retries %d, want 3", res.Retries)
+	}
+	if res.MigratedAt <= cut {
+		t.Errorf("MigratedAt %v, want after the cut-over %v", res.MigratedAt, cut)
+	}
+	if res.Duration <= clean.Duration {
+		t.Error("failover run cannot be faster than the clean run")
+	}
+}
+
+// Satellite: with recovery disabled, a non-OK call completion must become
+// the run's error — never silent success (the status used to be ignored).
+func TestNonOKStatusWithoutRecoveryFailsRun(t *testing.T) {
+	trace := traceFor(t, scanSrc, 1<<16)
+	p := platform.Default()
+	p.InstallFaults(fault.NewPlan(1, fault.Rule{Point: fault.FlashUncorrectable, Rate: 1}), nvme.RetryPolicy{})
+	_, err := Run(p, trace, Options{
+		Backend: codegen.Native, Partition: codegen.NewPartition(1, 2, 3), UseCallQueue: true,
+	})
+	if err == nil {
+		t.Fatal("uncorrectable flash error surfaced as success")
+	}
+	if !strings.Contains(err.Error(), "status") {
+		t.Errorf("error does not carry the NVMe status: %v", err)
+	}
+}
+
+// Satellite: a run stranded by a lost command with no completion timer
+// must report which record and source line it was stuck on.
+func TestDrainedRunNamesStuckRecord(t *testing.T) {
+	trace := traceFor(t, scanSrc, 1<<16)
+	p := platform.Default()
+	// Completions vanish and no retry policy is armed: the run strands.
+	p.InstallFaults(fault.NewPlan(1, fault.Rule{Point: fault.NVMeCompletionDrop, Rate: 1}), nvme.RetryPolicy{})
+	_, err := Run(p, trace, Options{
+		Backend: codegen.Native, Partition: codegen.NewPartition(1, 2, 3), UseCallQueue: true,
+	})
+	if err == nil {
+		t.Fatal("stranded run reported success")
+	}
+	if !strings.Contains(err.Error(), "record 0") || !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("drained error does not name the stuck record: %v", err)
+	}
+}

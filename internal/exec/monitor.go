@@ -82,8 +82,5 @@ func (e *executor) migrate(liveBytes float64) {
 	e.migrated = true
 	e.res.Migrated = true
 	e.res.MigratedAt = e.p.Sim.Now()
-	e.p.Sim.After(e.opts.regenOverhead(), func() {
-		e.idx++
-		e.step()
-	})
+	e.p.Sim.After(e.opts.regenOverhead(), func() { e.advance() })
 }

@@ -6,19 +6,26 @@ import (
 )
 
 // runRecord bills one dynamic line on the given unit and calls done when
-// its last event completes. The phases run strictly in sequence, the way
-// a single program thread experiences them: pull remote operands, read
-// storage, compute, then (on the CSD) emit the status update.
-func (e *executor) runRecord(rec *interp.LineRecord, unit Unit, done func()) {
+// its last event completes (with the storage error, if the line's data
+// access failed). The phases run strictly in sequence, the way a single
+// program thread experiences them: pull remote operands, read storage,
+// compute, then (on the CSD) emit the status update.
+func (e *executor) runRecord(rec *interp.LineRecord, unit Unit, done func(err error)) {
 	e.pullRemoteReads(rec, unit, func() {
-		e.readStorage(rec, unit, func() {
+		e.readStorage(rec, unit, func(err error) {
+			if err != nil {
+				// The line's data never materialized; computing on it
+				// would be garbage-in. Fail the line at this phase.
+				done(err)
+				return
+			}
 			e.compute(rec, unit, func() {
 				if unit == UnitCSD {
 					// Status updates are fire-and-forget (§III-C-b): the
 					// line does not stall on the report landing.
 					e.p.Dev.SendStatus(nil)
 				}
-				done()
+				done(nil)
 			})
 		})
 	})
@@ -54,25 +61,29 @@ func (e *executor) pullRemoteReads(rec *interp.LineRecord, unit Unit, done func(
 // link stream proceed in a pipeline (NVMe reads stream pages as they are
 // sensed), so the host path costs the *slower* of the two stages, not
 // their sum; both queues are still occupied for contention purposes.
-func (e *executor) readStorage(rec *interp.LineRecord, unit Unit, done func()) {
+func (e *executor) readStorage(rec *interp.LineRecord, unit Unit, done func(err error)) {
 	bytes := rec.Cost.StorageBytes
 	if bytes == 0 {
-		done()
+		done(nil)
 		return
 	}
 	if unit == UnitHost {
 		remaining := 2
-		dec := func(_, _ sim.Time) {
+		var readErr error
+		dec := func(err error) {
+			if err != nil {
+				readErr = err
+			}
 			remaining--
 			if remaining == 0 {
-				done()
+				done(readErr)
 			}
 		}
-		e.p.Dev.Array.Read(bytes, dec)
-		e.p.Topo.D2H.Transfer(float64(bytes), dec)
+		e.p.Dev.Array.ReadChecked(bytes, func(_, _ sim.Time, err error) { dec(err) })
+		e.p.Topo.D2H.Transfer(float64(bytes), func(_, _ sim.Time) { dec(nil) })
 		return
 	}
-	e.p.Dev.Array.Read(bytes, func(_, _ sim.Time) { done() })
+	e.p.Dev.Array.ReadChecked(bytes, func(_, _ sim.Time, err error) { done(err) })
 }
 
 // compute bills kernel work (data-parallel across the unit's cores),

@@ -1,0 +1,235 @@
+// Package fault is the deterministic fault-injection subsystem for the
+// simulated NVMe/CSD/exec stack.
+//
+// A Plan is built once per run from a seed plus declarative Rules and is
+// then consulted at fixed injection points spread through the hardware
+// models: the NVMe queue pair asks it whether to lose a command or drop a
+// completion, the flash array whether a read suffers an ECC-correctable
+// flip or an uncorrectable (UECC) error, the CSD whether a function call
+// stalls, and the device schedules full controller resets from it. Every
+// decision is derived by hashing (seed, injection point, per-point
+// sequence number, current simulated time) — no shared RNG stream, no
+// wall clock — so a run with the same seed and rules reproduces the same
+// injections bit-for-bit regardless of how the event calendar interleaves
+// unrelated components.
+//
+// A nil *Plan is valid everywhere and injects nothing at zero cost; a
+// Plan whose rules all have Rate 0 likewise never perturbs a run. That
+// property is what lets the fault machinery live permanently inside the
+// hot hardware models without taxing fault-free experiments.
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"activego/internal/sim"
+)
+
+// Point identifies one injection point in the stack.
+type Point int
+
+// Injection points.
+const (
+	// NVMeCommandLoss drops a submission after the SQE crosses the link:
+	// the device never sees the command and only a host-side completion
+	// timer can recover it.
+	NVMeCommandLoss Point = iota
+	// NVMeCompletionDrop loses the completion entry of a command the
+	// device fully executed: the work was done (and billed) but the host
+	// never hears about it.
+	NVMeCompletionDrop
+	// FlashTransient is an ECC-correctable read error: the controller
+	// re-senses the page with tuned thresholds, costing one extra read
+	// latency; the caller still gets good data.
+	FlashTransient
+	// FlashUncorrectable is a UECC read error: the array read completes
+	// (channel time is consumed) but the data is garbage and the read
+	// fails.
+	FlashUncorrectable
+	// CSEStall delays a CSD function call before it starts executing,
+	// modeling firmware hogging the engine (Rule.Duration sets the stall).
+	CSEStall
+	// DeviceReset is a full controller reset at a scheduled instant
+	// (Rule.At): in-flight commands are aborted and the device goes dark
+	// for Rule.Duration.
+	DeviceReset
+
+	numPoints
+)
+
+func (p Point) String() string {
+	switch p {
+	case NVMeCommandLoss:
+		return "nvme-command-loss"
+	case NVMeCompletionDrop:
+		return "nvme-completion-drop"
+	case FlashTransient:
+		return "flash-transient"
+	case FlashUncorrectable:
+		return "flash-uecc"
+	case CSEStall:
+		return "cse-stall"
+	case DeviceReset:
+		return "device-reset"
+	}
+	return fmt.Sprintf("point(%d)", int(p))
+}
+
+// Rule declares one class of injected faults.
+type Rule struct {
+	Point Point
+	// Rate is the probability in [0,1] of injecting at each opportunity
+	// (each command, each read, each call). Ignored for DeviceReset,
+	// which is scheduled, not rolled.
+	Rate float64
+	// Start and End bound the active window in simulated time; End == 0
+	// means no upper bound.
+	Start, End sim.Time
+	// MaxCount caps total injections from this rule; 0 means unlimited.
+	MaxCount int
+	// Duration is the stall length for CSEStall and the dark time for
+	// DeviceReset, in seconds.
+	Duration float64
+	// At is the scheduled instant of a DeviceReset.
+	At sim.Time
+}
+
+// Plan is one run's armed fault set. Plans are stateful (sequence numbers
+// and injection counts advance as the run consults them); build a fresh
+// Plan per run. All methods are nil-receiver safe.
+type Plan struct {
+	seed  uint64
+	rules []Rule
+	fired []int // per-rule injection count
+
+	seq      [numPoints]uint64
+	injected [numPoints]uint64
+}
+
+// NewPlan builds a plan from a seed and rules. Invalid rules panic: fault
+// plans are experiment configuration, and a typo'd rate must not be
+// silently clamped into a different experiment.
+func NewPlan(seed uint64, rules ...Rule) *Plan {
+	for i, r := range rules {
+		if r.Point < 0 || r.Point >= numPoints {
+			panic(fmt.Sprintf("fault: rule %d: unknown point %d", i, r.Point))
+		}
+		if r.Rate < 0 || r.Rate > 1 || math.IsNaN(r.Rate) {
+			panic(fmt.Sprintf("fault: rule %d (%v): rate %v out of [0,1]", i, r.Point, r.Rate))
+		}
+		if r.MaxCount < 0 || r.Duration < 0 {
+			panic(fmt.Sprintf("fault: rule %d (%v): negative MaxCount/Duration", i, r.Point))
+		}
+		if r.End != 0 && r.End < r.Start {
+			panic(fmt.Sprintf("fault: rule %d (%v): window [%v,%v) inverted", i, r.Point, r.Start, r.End))
+		}
+	}
+	return &Plan{seed: seed, rules: append([]Rule(nil), rules...), fired: make([]int, len(rules))}
+}
+
+// Seed returns the plan's seed.
+func (p *Plan) Seed() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.seed
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a cheap,
+// well-mixed 64-bit hash. Each injection decision hashes its inputs
+// independently, so decisions never share stream state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// roll consumes one opportunity at pt and returns a uniform in [0,1)
+// derived from the seed, the point, the point's sequence number, and the
+// current simulated time.
+func (p *Plan) roll(pt Point, now sim.Time) float64 {
+	s := p.seq[pt]
+	p.seq[pt]++
+	h := splitmix64(p.seed ^ uint64(pt)<<56)
+	h = splitmix64(h ^ s)
+	h = splitmix64(h ^ math.Float64bits(now))
+	return float64(h>>11) / (1 << 53)
+}
+
+// decide consumes one opportunity and returns the first matching active
+// rule, if any rolled an injection.
+func (p *Plan) decide(pt Point, now sim.Time) (Rule, bool) {
+	if p == nil || len(p.rules) == 0 {
+		return Rule{}, false
+	}
+	u := p.roll(pt, now)
+	for i, r := range p.rules {
+		if r.Point != pt || r.Point == DeviceReset {
+			continue
+		}
+		if now < r.Start || (r.End != 0 && now >= r.End) {
+			continue
+		}
+		if r.MaxCount > 0 && p.fired[i] >= r.MaxCount {
+			continue
+		}
+		if u >= r.Rate {
+			continue
+		}
+		p.fired[i]++
+		p.injected[pt]++
+		return r, true
+	}
+	return Rule{}, false
+}
+
+// Decide reports whether to inject a fault at pt for the opportunity at
+// simulated time now. Each call consumes one per-point sequence number.
+func (p *Plan) Decide(pt Point, now sim.Time) bool {
+	_, ok := p.decide(pt, now)
+	return ok
+}
+
+// DecideDuration is Decide for points whose faults carry a duration
+// (CSEStall); it returns the matched rule's Duration.
+func (p *Plan) DecideDuration(pt Point, now sim.Time) (float64, bool) {
+	r, ok := p.decide(pt, now)
+	return r.Duration, ok
+}
+
+// Resets returns the scheduled DeviceReset rules; the device arms one
+// reset per rule at Rule.At for Rule.Duration.
+func (p *Plan) Resets() []Rule {
+	if p == nil {
+		return nil
+	}
+	var out []Rule
+	for _, r := range p.rules {
+		if r.Point == DeviceReset {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Injected returns how many faults have been injected at pt so far.
+func (p *Plan) Injected(pt Point) uint64 {
+	if p == nil || pt < 0 || pt >= numPoints {
+		return 0
+	}
+	return p.injected[pt]
+}
+
+// TotalInjected returns the total number of injected faults.
+func (p *Plan) TotalInjected() uint64 {
+	if p == nil {
+		return 0
+	}
+	var t uint64
+	for _, n := range p.injected {
+		t += n
+	}
+	return t
+}

@@ -18,11 +18,18 @@
 package flash
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
+	"activego/internal/fault"
 	"activego/internal/sim"
 )
+
+// ErrUncorrectable is the error a read completes with when it hits an
+// injected uncorrectable (UECC) error: the channel time was spent, but
+// the data is garbage.
+var ErrUncorrectable = errors.New("flash: uncorrectable read error (UECC)")
 
 // Geometry describes the physical organization of the array.
 type Geometry struct {
@@ -94,12 +101,15 @@ type Array struct {
 	chanFree     []sim.Time // per-channel wire-free horizon
 	next         int        // round-robin start channel for striping
 	availability float64    // fraction of channel time left by co-tenants
+	faults       *fault.Plan
 
 	readBytes float64
 	progBytes float64
 	reads     uint64
 	programs  uint64
 	erases    uint64
+	corrected uint64 // ECC-corrected (transient) read errors
+	uecc      uint64 // uncorrectable read errors
 }
 
 // NewArray builds an array over geometry g.
@@ -128,13 +138,51 @@ func (a *Array) Availability() float64 { return a.availability }
 // Geometry returns the array's geometry.
 func (a *Array) Geometry() Geometry { return a.geom }
 
+// SetFaults arms the array with plan's flash injection points (transient
+// ECC-correctable and uncorrectable read errors). A nil plan disarms it.
+func (a *Array) SetFaults(plan *fault.Plan) { a.faults = plan }
+
 // Read schedules a read of `bytes` striped across all channels and calls
 // done when the last channel finishes. A zero-length read completes after
-// one page sense (the command still touches a die).
+// one page sense (the command still touches a die). Read ignores
+// injected uncorrectable errors — callers that must observe them use
+// ReadChecked.
 func (a *Array) Read(bytes int64, done func(start, end sim.Time)) {
+	a.ReadChecked(bytes, func(start, end sim.Time, _ error) {
+		if done != nil {
+			done(start, end)
+		}
+	})
+}
+
+// ReadChecked is Read with failure semantics. A transient
+// (ECC-correctable) injected error delays completion by one extra read
+// latency — the controller's re-sense with tuned thresholds — and still
+// returns good data; an uncorrectable (UECC) error completes with
+// ErrUncorrectable after the channel time is spent. Fault decisions are
+// made at issue, deterministically per the armed fault.Plan.
+func (a *Array) ReadChecked(bytes int64, done func(start, end sim.Time, err error)) {
 	a.reads++
 	a.readBytes += float64(bytes)
-	a.op(bytes, a.geom.channelReadRate(), a.geom.ReadLatency, done)
+	var err error
+	var penalty float64
+	if a.faults.Decide(fault.FlashUncorrectable, a.sim.Now()) {
+		a.uecc++
+		err = ErrUncorrectable
+	} else if a.faults.Decide(fault.FlashTransient, a.sim.Now()) {
+		a.corrected++
+		penalty = a.geom.ReadLatency
+	}
+	a.op(bytes, a.geom.channelReadRate(), a.geom.ReadLatency, func(start, end sim.Time) {
+		if done == nil {
+			return
+		}
+		if penalty > 0 {
+			a.sim.AfterNamed(penalty, "flash-reread", func() { done(start, end+penalty, nil) })
+			return
+		}
+		done(start, end, err)
+	})
 }
 
 // Program schedules a write of `bytes` striped across all channels.
@@ -209,4 +257,10 @@ func (a *Array) ReadTime(bytes int64) float64 {
 // Stats returns cumulative operation counts and byte totals.
 func (a *Array) Stats() (reads, programs, erases uint64, readBytes, progBytes float64) {
 	return a.reads, a.programs, a.erases, a.readBytes, a.progBytes
+}
+
+// FaultStats returns cumulative injected read-error counts: transient
+// errors the ECC corrected and uncorrectable (UECC) failures.
+func (a *Array) FaultStats() (corrected, uncorrectable uint64) {
+	return a.corrected, a.uecc
 }

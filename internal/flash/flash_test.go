@@ -1,12 +1,83 @@
 package flash
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"activego/internal/fault"
 	"activego/internal/sim"
 )
+
+// A transient (ECC-corrected) fault must delay the read by one extra read
+// latency and still deliver good data.
+func TestTransientFaultDelaysRead(t *testing.T) {
+	timeRead := func(plan *fault.Plan) (dur float64, err error) {
+		s := sim.New()
+		a := NewArray(s, DefaultGeometry())
+		a.SetFaults(plan)
+		var end sim.Time
+		a.ReadChecked(8<<20, func(_, en sim.Time, e error) { end = en; err = e })
+		s.Run()
+		return end, err
+	}
+	clean, err := timeRead(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := timeRead(fault.NewPlan(1, fault.Rule{Point: fault.FlashTransient, Rate: 1, MaxCount: 1}))
+	if err != nil {
+		t.Fatalf("transient error must be corrected, got %v", err)
+	}
+	gap := faulty - clean
+	lat := DefaultGeometry().ReadLatency
+	if gap < lat*0.99 || gap > lat*1.01 {
+		t.Errorf("transient penalty %v, want one read latency %v", gap, lat)
+	}
+}
+
+// An uncorrectable fault must surface ErrUncorrectable through
+// ReadChecked, still after consuming the channel time.
+func TestUncorrectableFaultFailsRead(t *testing.T) {
+	s := sim.New()
+	a := NewArray(s, DefaultGeometry())
+	a.SetFaults(fault.NewPlan(1, fault.Rule{Point: fault.FlashUncorrectable, Rate: 1, MaxCount: 1}))
+	var firstErr, secondErr error
+	var end1 sim.Time
+	a.ReadChecked(8<<20, func(_, en sim.Time, e error) { end1 = en; firstErr = e })
+	s.Run()
+	if !errors.Is(firstErr, ErrUncorrectable) {
+		t.Fatalf("err = %v, want ErrUncorrectable", firstErr)
+	}
+	if end1 <= 0 {
+		t.Error("UECC read must still consume channel time")
+	}
+	// MaxCount exhausted: the next read succeeds.
+	a.ReadChecked(8<<20, func(_, _ sim.Time, e error) { secondErr = e })
+	s.Run()
+	if secondErr != nil {
+		t.Errorf("second read failed: %v", secondErr)
+	}
+	corrected, uecc := a.FaultStats()
+	if corrected != 0 || uecc != 1 {
+		t.Errorf("fault stats corrected=%d uecc=%d, want 0/1", corrected, uecc)
+	}
+}
+
+// Plain Read (the legacy signature) must not change behavior when no
+// faults are armed, and must swallow UECC for callers that cannot see it.
+func TestPlainReadIgnoresFaultsButCompletes(t *testing.T) {
+	s := sim.New()
+	a := NewArray(s, DefaultGeometry())
+	a.SetFaults(fault.NewPlan(1, fault.Rule{Point: fault.FlashUncorrectable, Rate: 1}))
+	completed := false
+	a.Read(1<<20, func(_, _ sim.Time) { completed = true })
+	s.Run()
+	if !completed {
+		t.Error("plain Read must complete even under UECC injection")
+	}
+}
 
 func TestDefaultGeometryMatchesPaper(t *testing.T) {
 	g := DefaultGeometry()

@@ -11,11 +11,21 @@
 // write across the host-device link; a completion moves a 16-byte CQE
 // back. Queue depth bounds the number of in-flight commands; the rest wait
 // in a host-side software queue, FIFO.
+//
+// Failure semantics: a queue pair can be armed with a fault.Plan (lost
+// commands, dropped completions) and a RetryPolicy. With a policy set,
+// every issued command carries a host-side completion timer; on expiry the
+// host abandons the command (a late completion is discarded, like a real
+// driver's abort), re-issues it after exponential backoff, and after
+// MaxAttempts surfaces a StatusTimeout completion to the submitter. With
+// no policy and no faults the queue pair behaves — event for event —
+// exactly as the fault-free model did.
 package nvme
 
 import (
 	"fmt"
 
+	"activego/internal/fault"
 	"activego/internal/sim"
 )
 
@@ -23,6 +33,18 @@ import (
 const (
 	SQESize = 64
 	CQESize = 16
+)
+
+// Completion status codes. Zero is success; the non-zero values follow
+// the spirit of the NVMe status field (generic command status and media
+// errors) without reproducing the full code space.
+const (
+	StatusOK            uint16 = 0x0
+	StatusInvalidField  uint16 = 0x2   // malformed command (bad payload)
+	StatusInvalidOpcode uint16 = 0x1   // unknown opcode
+	StatusAborted       uint16 = 0x4   // command aborted (device reset)
+	StatusTimeout       uint16 = 0x5   // host-side completion timer expired, retries exhausted
+	StatusMediaError    uint16 = 0x281 // unrecovered read error (UECC)
 )
 
 // Opcode identifies the command type.
@@ -79,23 +101,73 @@ type Completion struct {
 // exactly once (possibly after scheduling further simulated work).
 type Handler func(cmd Command, submitted sim.Time, complete func(Completion))
 
+// RetryPolicy configures host-side command supervision. The zero value
+// disables it entirely (no timers, no retries) — the fault-free fast
+// path.
+type RetryPolicy struct {
+	// Timeout is the per-command completion timer; 0 disables
+	// supervision. It must exceed the longest legitimate command service
+	// time or healthy long commands will be spuriously aborted.
+	Timeout float64
+	// MaxAttempts is the total number of issue attempts per command,
+	// including the first; values below 1 mean 1.
+	MaxAttempts int
+	// Backoff is the delay before the second attempt; it doubles on each
+	// further retry (exponential backoff).
+	Backoff float64
+}
+
+// DefaultRetryPolicy is a supervision policy suited to the simulated
+// platform's command service times (line-granularity CSD calls run for
+// milliseconds at experiment scale).
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Timeout: 50e-3, MaxAttempts: 4, Backoff: 1e-3}
+}
+
+func (rp RetryPolicy) maxAttempts() int {
+	if rp.MaxAttempts < 1 {
+		return 1
+	}
+	return rp.MaxAttempts
+}
+
 // QueuePair is one SQ/CQ pair bound to a link and a device handler.
 type QueuePair struct {
 	sim     *sim.Sim
 	link    *sim.Link
 	depth   int
 	handler Handler
+	faults  *fault.Plan
+	retry   RetryPolicy
 
-	inFlight  int
-	soft      []pending // host-side software queue when SQ is full
+	inFlight int
+	soft     []pending // host-side software queue when SQ is full
+	live     []*issued // device-owned commands, issue order
+
 	submitted uint64
 	completed uint64
+	timeouts  uint64
+	retries   uint64
+	dropped   uint64 // injected completion drops
+	lost      uint64 // injected command losses
+	aborted   uint64 // commands failed by AbortAll (device reset)
 }
 
 type pending struct {
-	cmd  Command
-	when sim.Time
-	done func(Completion)
+	cmd     Command
+	when    sim.Time
+	done    func(Completion)
+	attempt int // issue attempts already consumed
+}
+
+// issued is one command the hardware queue currently owns. settled flips
+// exactly once — on normal completion, timer expiry, or abort — and every
+// later signal for the command (a late CQE, a stale timer) is discarded
+// against it.
+type issued struct {
+	p       pending
+	timer   *sim.Event
+	settled bool
 }
 
 // NewQueuePair creates a queue pair of the given depth over link, served
@@ -109,6 +181,16 @@ func NewQueuePair(s *sim.Sim, link *sim.Link, depth int, handler Handler) *Queue
 	}
 	return &QueuePair{sim: s, link: link, depth: depth, handler: handler}
 }
+
+// SetFaults arms the queue pair with plan's NVMe injection points. A nil
+// plan disarms it.
+func (q *QueuePair) SetFaults(plan *fault.Plan) { q.faults = plan }
+
+// SetRetryPolicy installs host-side command supervision; see RetryPolicy.
+func (q *QueuePair) SetRetryPolicy(rp RetryPolicy) { q.retry = rp }
+
+// RetryPolicy returns the installed supervision policy.
+func (q *QueuePair) RetryPolicy() RetryPolicy { return q.retry }
 
 // Depth returns the hardware queue depth.
 func (q *QueuePair) Depth() int { return q.depth }
@@ -124,11 +206,22 @@ func (q *QueuePair) Stats() (submitted, completed uint64) {
 	return q.submitted, q.completed
 }
 
+// FaultStats returns the cumulative failure-path counters: completion
+// timer expiries, command re-issues, injected completion drops, injected
+// command losses, and reset-aborted commands.
+func (q *QueuePair) FaultStats() (timeouts, retries, dropped, lost, aborted uint64) {
+	return q.timeouts, q.retries, q.dropped, q.lost, q.aborted
+}
+
 // Submit posts cmd; done fires on the host side when the completion entry
-// has crossed back over the link.
+// has crossed back over the link (or, under a RetryPolicy, when the host
+// gives up on the command and synthesizes a failure completion).
 func (q *QueuePair) Submit(cmd Command, done func(Completion)) {
 	q.submitted++
-	p := pending{cmd: cmd, when: q.sim.Now(), done: done}
+	q.enqueue(pending{cmd: cmd, when: q.sim.Now(), done: done})
+}
+
+func (q *QueuePair) enqueue(p pending) {
 	if q.inFlight >= q.depth {
 		q.soft = append(q.soft, p)
 		return
@@ -138,27 +231,113 @@ func (q *QueuePair) Submit(cmd Command, done func(Completion)) {
 
 func (q *QueuePair) issue(p pending) {
 	q.inFlight++
+	is := &issued{p: p}
+	q.live = append(q.live, is)
+	if q.retry.Timeout > 0 {
+		is.timer = q.sim.AfterNamed(q.retry.Timeout, "nvme-timeout", func() { q.expire(is) })
+	}
 	// SQE + doorbell crossing to the device.
 	q.link.Transfer(SQESize, func(_, arrive sim.Time) {
+		if is.settled {
+			return // host aborted while the SQE was on the wire
+		}
+		if q.faults.Decide(fault.NVMeCommandLoss, q.sim.Now()) {
+			// The command vanishes before the device parses it; only the
+			// completion timer (if armed) recovers the slot.
+			q.lost++
+			return
+		}
 		q.handler(p.cmd, p.when, func(c Completion) {
+			if is.settled {
+				return // late completion of an aborted command: discarded
+			}
+			if c.Status == StatusOK && q.faults.Decide(fault.NVMeCompletionDrop, q.sim.Now()) {
+				q.dropped++
+				return
+			}
 			c.Submitted = p.when
 			if c.Started == 0 {
 				c.Started = arrive
 			}
 			// CQE crossing back to the host.
 			q.link.Transfer(CQESize, func(_, landed sim.Time) {
-				c.Completed = landed
-				q.inFlight--
-				q.completed++
-				if len(q.soft) > 0 {
-					next := q.soft[0]
-					q.soft = q.soft[1:]
-					q.issue(next)
+				if is.settled {
+					return // host timed out while the CQE was on the wire
 				}
+				q.settle(is)
+				c.Completed = landed
+				q.completed++
 				if p.done != nil {
 					p.done(c)
 				}
 			})
 		})
 	})
+}
+
+// settle releases is's hardware slot exactly once: stop its timer, free
+// the queue entry, and pull the next software-queued command in.
+func (q *QueuePair) settle(is *issued) {
+	is.settled = true
+	if is.timer != nil {
+		is.timer.Cancel()
+	}
+	for i, v := range q.live {
+		if v == is {
+			q.live = append(q.live[:i], q.live[i+1:]...)
+			break
+		}
+	}
+	q.inFlight--
+	if len(q.soft) > 0 {
+		next := q.soft[0]
+		q.soft = q.soft[1:]
+		q.issue(next)
+	}
+}
+
+// expire handles a completion-timer expiry: abandon the command and run
+// the retry ladder with a timeout status.
+func (q *QueuePair) expire(is *issued) {
+	if is.settled {
+		return
+	}
+	q.timeouts++
+	q.fail(is, StatusTimeout)
+}
+
+// fail abandons is and either re-issues its command after exponential
+// backoff or, with attempts exhausted, delivers a synthesized failure
+// completion to the submitter.
+func (q *QueuePair) fail(is *issued, status uint16) {
+	if is.settled {
+		return
+	}
+	q.settle(is)
+	p := is.p
+	if p.attempt+1 < q.retry.maxAttempts() {
+		p.attempt++
+		q.retries++
+		backoff := q.retry.Backoff * float64(uint64(1)<<uint(p.attempt-1))
+		q.sim.AfterNamed(backoff, "nvme-retry", func() { q.enqueue(p) })
+		return
+	}
+	if p.done != nil {
+		p.done(Completion{Status: status, Submitted: p.when, Completed: q.sim.Now()})
+	}
+}
+
+// AbortAll fails every device-owned command with the given status — the
+// controller-reset path. Each aborted command still walks the retry
+// ladder, so with a RetryPolicy armed the host re-drives it once the
+// device returns.
+func (q *QueuePair) AbortAll(status uint16) {
+	live := append([]*issued(nil), q.live...)
+	for _, is := range live {
+		if is.settled {
+			continue
+		}
+		q.aborted++
+		q.fail(is, status)
+	}
 }

@@ -3,6 +3,7 @@ package nvme
 import (
 	"testing"
 
+	"activego/internal/fault"
 	"activego/internal/sim"
 )
 
@@ -80,6 +81,183 @@ func TestOpcodeStrings(t *testing.T) {
 		if op.String() != want {
 			t.Errorf("%d: %q", op, op.String())
 		}
+	}
+}
+
+// A dropped completion must be recovered by the completion timer: the
+// command is re-issued and the submitter sees exactly one completion.
+func TestDroppedCompletionRecoveredByRetry(t *testing.T) {
+	s := sim.New()
+	link := sim.NewLink(s, "l", 1e9, 1e-6)
+	qp := NewQueuePair(s, link, 4, echoHandler(1e-4, s))
+	qp.SetRetryPolicy(RetryPolicy{Timeout: 1e-3, MaxAttempts: 3, Backoff: 1e-4})
+	qp.SetFaults(fault.NewPlan(1, fault.Rule{Point: fault.NVMeCompletionDrop, Rate: 1, MaxCount: 1}))
+	completions := 0
+	var last Completion
+	qp.Submit(Command{Opcode: OpRead}, func(c Completion) { completions++; last = c })
+	s.Run()
+	if completions != 1 {
+		t.Fatalf("submitter saw %d completions, want exactly 1", completions)
+	}
+	if last.Status != StatusOK {
+		t.Errorf("recovered command completed with status %#x", last.Status)
+	}
+	timeouts, retries, dropped, _, _ := qp.FaultStats()
+	if timeouts != 1 || retries != 1 || dropped != 1 {
+		t.Errorf("timeouts=%d retries=%d dropped=%d, want 1/1/1", timeouts, retries, dropped)
+	}
+	if qp.InFlight() != 0 || qp.SoftQueued() != 0 {
+		t.Errorf("queues not drained: %d/%d", qp.InFlight(), qp.SoftQueued())
+	}
+}
+
+// With every attempt's command lost, bounded attempts must end in a
+// synthesized StatusTimeout completion, not an infinite retry loop.
+func TestBoundedAttemptsSurfaceTimeout(t *testing.T) {
+	s := sim.New()
+	link := sim.NewLink(s, "l", 1e9, 1e-6)
+	qp := NewQueuePair(s, link, 4, echoHandler(1e-4, s))
+	qp.SetRetryPolicy(RetryPolicy{Timeout: 1e-3, MaxAttempts: 3, Backoff: 1e-4})
+	qp.SetFaults(fault.NewPlan(1, fault.Rule{Point: fault.NVMeCommandLoss, Rate: 1}))
+	completions := 0
+	var last Completion
+	qp.Submit(Command{Opcode: OpCall}, func(c Completion) { completions++; last = c })
+	s.Run()
+	if completions != 1 {
+		t.Fatalf("submitter saw %d completions, want exactly 1", completions)
+	}
+	if last.Status != StatusTimeout {
+		t.Errorf("final status %#x, want StatusTimeout", last.Status)
+	}
+	timeouts, retries, _, lost, _ := qp.FaultStats()
+	if timeouts != 3 || retries != 2 || lost != 3 {
+		t.Errorf("timeouts=%d retries=%d lost=%d, want 3/2/3", timeouts, retries, lost)
+	}
+}
+
+// Exponential backoff: the second retry waits twice the first.
+func TestRetryBackoffDoubles(t *testing.T) {
+	s := sim.New()
+	link := sim.NewLink(s, "l", 1e12, 0)
+	qp := NewQueuePair(s, link, 1, echoHandler(1e-5, s))
+	qp.SetRetryPolicy(RetryPolicy{Timeout: 1e-3, MaxAttempts: 3, Backoff: 1e-3})
+	qp.SetFaults(fault.NewPlan(1, fault.Rule{Point: fault.NVMeCommandLoss, Rate: 1}))
+	var end sim.Time
+	qp.Submit(Command{}, func(c Completion) { end = c.Completed })
+	s.Run()
+	// Timeline: timeout at 1ms, backoff 1ms, timeout at 3ms, backoff
+	// 2ms, timeout at 6ms -> final completion.
+	if end < 5.9e-3 || end > 6.1e-3 {
+		t.Errorf("gave up at %v, want ~6ms under doubling backoff", end)
+	}
+}
+
+// Queue-pair saturation: a burst far beyond QueueDepth must drain FIFO
+// through the host-side software queue.
+func TestSaturationDrainsFIFOThroughSoftQueue(t *testing.T) {
+	s := sim.New()
+	link := sim.NewLink(s, "l", 1e12, 0)
+	qp := NewQueuePair(s, link, 2, echoHandler(1e-4, s))
+	const burst = 16
+	var order []int
+	for i := 0; i < burst; i++ {
+		i := i
+		qp.Submit(Command{Opcode: OpCall}, func(Completion) { order = append(order, i) })
+	}
+	if qp.InFlight() != 2 || qp.SoftQueued() != burst-2 {
+		t.Fatalf("inflight=%d soft=%d, want 2/%d", qp.InFlight(), qp.SoftQueued(), burst-2)
+	}
+	s.Run()
+	if len(order) != burst {
+		t.Fatalf("completed %d, want %d", len(order), burst)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("completion order %v not FIFO", order)
+		}
+	}
+	if qp.InFlight() != 0 || qp.SoftQueued() != 0 {
+		t.Errorf("queues not drained: %d/%d", qp.InFlight(), qp.SoftQueued())
+	}
+}
+
+// The same burst with injected completion drops: every command must still
+// complete exactly once and the queues must drain — timed-out commands
+// release their hardware slot so the software queue keeps moving.
+func TestSaturationDrainsUnderInjectedTimeouts(t *testing.T) {
+	s := sim.New()
+	link := sim.NewLink(s, "l", 1e12, 0)
+	qp := NewQueuePair(s, link, 2, echoHandler(1e-4, s))
+	qp.SetRetryPolicy(RetryPolicy{Timeout: 5e-4, MaxAttempts: 4, Backoff: 1e-4})
+	qp.SetFaults(fault.NewPlan(7,
+		fault.Rule{Point: fault.NVMeCompletionDrop, Rate: 1, MaxCount: 3},
+		fault.Rule{Point: fault.NVMeCommandLoss, Rate: 1, MaxCount: 2},
+	))
+	const burst = 12
+	seen := make([]int, burst)
+	ok := 0
+	for i := 0; i < burst; i++ {
+		i := i
+		qp.Submit(Command{Opcode: OpCall}, func(c Completion) {
+			seen[i]++
+			if c.Status == StatusOK {
+				ok++
+			}
+		})
+	}
+	s.Run()
+	for i, n := range seen {
+		if n != 1 {
+			t.Errorf("command %d completed %d times, want exactly once", i, n)
+		}
+	}
+	if ok != burst {
+		t.Errorf("%d/%d commands recovered to success", ok, burst)
+	}
+	timeouts, retries, dropped, lost, _ := qp.FaultStats()
+	if dropped != 3 || lost != 2 {
+		t.Errorf("dropped=%d lost=%d, want 3/2", dropped, lost)
+	}
+	if timeouts != 5 || retries != 5 {
+		t.Errorf("timeouts=%d retries=%d, want 5/5 (every injection recovered on retry)", timeouts, retries)
+	}
+	if qp.InFlight() != 0 || qp.SoftQueued() != 0 {
+		t.Errorf("queues not drained: %d/%d", qp.InFlight(), qp.SoftQueued())
+	}
+}
+
+// AbortAll (the reset path) fails in-flight commands; with a retry policy
+// they are re-driven and complete.
+func TestAbortAllRedrivesInFlight(t *testing.T) {
+	s := sim.New()
+	link := sim.NewLink(s, "l", 1e9, 1e-6)
+	qp := NewQueuePair(s, link, 4, echoHandler(1e-3, s))
+	qp.SetRetryPolicy(RetryPolicy{Timeout: 1e-2, MaxAttempts: 2, Backoff: 1e-4})
+	var got Completion
+	qp.Submit(Command{Opcode: OpCall}, func(c Completion) { got = c })
+	// Abort mid-service.
+	s.After(5e-4, func() { qp.AbortAll(StatusAborted) })
+	s.Run()
+	if got.Status != StatusOK {
+		t.Errorf("re-driven command finished with status %#x", got.Status)
+	}
+	_, _, _, _, aborted := qp.FaultStats()
+	if aborted != 1 {
+		t.Errorf("aborted=%d, want 1", aborted)
+	}
+}
+
+// Without a retry policy AbortAll must surface the abort status directly.
+func TestAbortAllWithoutRetrySurfacesStatus(t *testing.T) {
+	s := sim.New()
+	link := sim.NewLink(s, "l", 1e9, 1e-6)
+	qp := NewQueuePair(s, link, 4, echoHandler(1e-3, s))
+	var got Completion
+	qp.Submit(Command{Opcode: OpCall}, func(c Completion) { got = c })
+	s.After(5e-4, func() { qp.AbortAll(StatusAborted) })
+	s.Run()
+	if got.Status != StatusAborted {
+		t.Errorf("status %#x, want StatusAborted", got.Status)
 	}
 }
 

@@ -6,8 +6,10 @@ package platform
 
 import (
 	"activego/internal/csd"
+	"activego/internal/fault"
 	"activego/internal/host"
 	"activego/internal/interconnect"
+	"activego/internal/nvme"
 	"activego/internal/shmem"
 	"activego/internal/sim"
 )
@@ -54,6 +56,17 @@ func New(cfg Config) *Platform {
 
 // Default builds a platform with DefaultConfig.
 func Default() *Platform { return New(DefaultConfig()) }
+
+// InstallFaults arms the whole machine's failure machinery in one call:
+// the device-owned injection points (NVMe losses, flash errors, CSE
+// stalls, scheduled resets) from plan, and the host-side command
+// supervision (completion timers, bounded retry with backoff) from
+// retry. A nil plan with a zero retry policy leaves the platform exactly
+// as built — the fault path costs nothing when disarmed.
+func (p *Platform) InstallFaults(plan *fault.Plan, retry nvme.RetryPolicy) {
+	p.Dev.InstallFaults(plan)
+	p.Dev.QP.SetRetryPolicy(retry)
+}
 
 // MeasureSlowdown runs the calibration microbenchmark of §III-A: the same
 // small sample computation is timed on one host core and one CSE core,

@@ -27,6 +27,7 @@ type Time = float64
 type Event struct {
 	at       Time
 	seq      uint64
+	name     string
 	fn       func()
 	canceled bool
 	index    int // heap index, -1 once popped
@@ -34,6 +35,9 @@ type Event struct {
 
 // At reports the simulated time the event is scheduled for.
 func (e *Event) At() Time { return e.at }
+
+// Name returns the event's diagnostic label ("" for unnamed events).
+func (e *Event) Name() string { return e.name }
 
 // Cancel prevents the event from firing. Canceling an already-fired or
 // already-canceled event is a no-op.
@@ -103,13 +107,20 @@ func (s *Sim) SetTracer(fn func(t Time, msg string)) { s.tracer = fn }
 // past panics: it indicates a model bug, and silently reordering time
 // would destroy determinism guarantees.
 func (s *Sim) At(t Time, fn func()) *Event {
+	return s.AtNamed(t, "", fn)
+}
+
+// AtNamed is At with a diagnostic label the tracer reports when the event
+// fires; fault-injection machinery labels its timers so deadlocks caused
+// by stranded commands are attributable from a trace.
+func (s *Sim) AtNamed(t Time, name string, fn func()) *Event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %.12g before now %.12g", t, s.now))
 	}
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", t))
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn}
+	e := &Event{at: t, seq: s.seq, name: name, fn: fn}
 	s.seq++
 	heap.Push(&s.events, e)
 	return e
@@ -118,6 +129,11 @@ func (s *Sim) At(t Time, fn func()) *Event {
 // After schedules fn to run d seconds from now. Negative d panics.
 func (s *Sim) After(d float64, fn func()) *Event {
 	return s.At(s.now+d, fn)
+}
+
+// AfterNamed is After with a diagnostic label; see AtNamed.
+func (s *Sim) AfterNamed(d float64, name string, fn func()) *Event {
+	return s.AtNamed(s.now+d, name, fn)
 }
 
 // Pending returns the number of scheduled (possibly canceled) events.
@@ -134,7 +150,11 @@ func (s *Sim) Step() bool {
 		s.now = e.at
 		s.fired++
 		if s.tracer != nil {
-			s.tracer(s.now, "event")
+			msg := e.name
+			if msg == "" {
+				msg = "event"
+			}
+			s.tracer(s.now, msg)
 		}
 		e.fn()
 		return true

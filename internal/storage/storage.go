@@ -100,8 +100,20 @@ func (st *Store) Delete(name string) {
 // Read schedules reading length bytes starting at offset from the named
 // object. The read is billed on the flash array; done fires when the array
 // finishes. The data then still has to cross whatever link separates the
-// consumer from the array — that is the caller's model decision.
+// consumer from the array — that is the caller's model decision. Read
+// ignores injected uncorrectable flash errors; callers that must observe
+// them use ReadChecked.
 func (st *Store) Read(name string, offset, length int64, done func(start, end sim.Time)) {
+	st.ReadChecked(name, offset, length, func(start, end sim.Time, _ error) {
+		if done != nil {
+			done(start, end)
+		}
+	})
+}
+
+// ReadChecked is Read with failure semantics: done receives
+// flash.ErrUncorrectable when the array read hits an injected UECC error.
+func (st *Store) ReadChecked(name string, offset, length int64, done func(start, end sim.Time, err error)) {
 	o, ok := st.objects[name]
 	if !ok {
 		panic(fmt.Sprintf("storage: read of missing object %q", name))
@@ -110,7 +122,7 @@ func (st *Store) Read(name string, offset, length int64, done func(start, end si
 		panic(fmt.Sprintf("storage: read [%d,%d) out of object %q size %d", offset, offset+length, name, o.Size))
 	}
 	st.readBytes += float64(length)
-	st.array.Read(length, done)
+	st.array.ReadChecked(length, done)
 }
 
 // Write schedules writing length bytes at offset of the named object,
