@@ -183,9 +183,9 @@ func BenchmarkAblationPlanner(b *testing.B) {
 	}
 	var optimalX, greedyX, literalX float64
 	for i := 0; i < b.N; i++ {
-		optimal := plan.Optimal(wb.Plan.Estimates, wb.Machine)
-		greedy := plan.Algorithm1(wb.Plan.Estimates, wb.Machine)
-		literal := plan.Algorithm1Literal(wb.Plan.Estimates, wb.Machine)
+		optimal := plan.Optimal(wb.Plan.Estimates, plan.Constraints{}, wb.Machine)
+		greedy := plan.Algorithm1(wb.Plan.Estimates, plan.Constraints{}, wb.Machine)
+		literal := plan.Algorithm1Literal(wb.Plan.Estimates, plan.Constraints{}, wb.Machine)
 		optimalX = measure(optimal.Partition)
 		greedyX = measure(greedy.Partition)
 		literalX = measure(literal.Partition)

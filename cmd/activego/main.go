@@ -6,8 +6,9 @@
 // Usage:
 //
 //	activego -workload tpch-6 [-scalediv N] [-seed S] [-availability F] [-no-migration]
-//	activego -src program.apy            # requires inputs among the built-in workloads
 //	activego -list
+//	activego vet program.apy...          # static analysis / lint
+//	activego vet -workloads              # lint every embedded workload
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"activego/internal/analysis"
 	"activego/internal/baseline"
 	"activego/internal/codegen"
 	"activego/internal/core"
@@ -24,6 +26,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "vet" {
+		os.Exit(runVet(os.Args[2:]))
+	}
 	workload := flag.String("workload", "", "workload name (see -list)")
 	list := flag.Bool("list", false, "list available workloads")
 	scaleDiv := flag.Int64("scalediv", 512, "divide Table I input sizes by this factor")
@@ -105,4 +110,60 @@ func main() {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "activego:", err)
 	os.Exit(1)
+}
+
+// runVet implements `activego vet`: the static-analysis lint surface.
+// Diagnostics print one per line in the machine-readable form
+// `file:line: CODE: message [severity]`. Exit status: 0 when every file
+// is clean or carries only warnings unless -strict, 1 when any
+// error-severity diagnostic (or, with -strict, any diagnostic) fired,
+// 2 on usage, read, or parse failures.
+func runVet(args []string) int {
+	fs := flag.NewFlagSet("vet", flag.ExitOnError)
+	strict := fs.Bool("strict", false, "treat warnings as errors")
+	overWorkloads := fs.Bool("workloads", false, "lint every embedded workload program instead of files")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: activego vet [-strict] program.apy...")
+		fmt.Fprintln(os.Stderr, "       activego vet [-strict] -workloads")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+
+	type target struct{ name, src string }
+	var targets []target
+	if *overWorkloads {
+		p := workloads.TestParams()
+		for _, spec := range workloads.All() {
+			targets = append(targets, target{name: "workload:" + spec.Name, src: spec.Build(p).Source})
+		}
+	} else {
+		if fs.NArg() == 0 {
+			fs.Usage()
+			return 2
+		}
+		for _, path := range fs.Args() {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "activego vet:", err)
+				return 2
+			}
+			targets = append(targets, target{name: path, src: string(src)})
+		}
+	}
+
+	status := 0
+	for _, tg := range targets {
+		diags, err := analysis.LintSource(tg.src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "activego vet: %s: %v\n", tg.name, err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Printf("%s [%s]\n", d.Format(tg.name), d.Severity)
+		}
+		if analysis.HasErrors(diags) || (*strict && len(diags) > 0) {
+			status = 1
+		}
+	}
+	return status
 }

@@ -8,6 +8,7 @@
 //
 //	csdsim [-read-mb N] [-write-mb N] [-calls N] [-availability F]
 //	       [-fault-rate F] [-fault-seed N] [-retry-timeout S]
+//	csdsim -lint program.apy...   # static-analysis lint, no simulation
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"activego/internal/analysis"
 	"activego/internal/csd"
 	"activego/internal/fault"
 	"activego/internal/nvme"
@@ -23,6 +25,7 @@ import (
 )
 
 func main() {
+	lint := flag.Bool("lint", false, "lint mini-language source files instead of simulating (args are .apy paths)")
 	readMB := flag.Int64("read-mb", 64, "stream this many MB from the device to the host")
 	writeMB := flag.Int64("write-mb", 16, "stream this many MB from the host to the device")
 	calls := flag.Int("calls", 8, "CSD function invocations through the call queue")
@@ -31,6 +34,10 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 1, "fault plan seed (same seed + same flags = identical run)")
 	retryTimeout := flag.Float64("retry-timeout", 0.05, "host completion timer, seconds (with -fault-rate > 0)")
 	flag.Parse()
+
+	if *lint {
+		os.Exit(runLint(flag.Args()))
+	}
 
 	p := platform.Default()
 	if *avail < 1 {
@@ -107,4 +114,35 @@ func main() {
 			timeouts, retries, droppedC, lostC, aborted, corrected, uecc)
 	}
 	fmt.Printf("events fired: %d; simulated time: %.3f ms\n", p.Sim.EventsFired(), p.Sim.Now()*1e3)
+}
+
+// runLint is the -lint mode: same rule catalogue and output shape as
+// `activego vet`, exposed on the substrate tool so device-side work can
+// be checked without the language binary. Exit 0 clean/warnings, 1 on
+// error diagnostics, 2 on usage/read/parse failures.
+func runLint(paths []string) int {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: csdsim -lint program.apy...")
+		return 2
+	}
+	status := 0
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "csdsim:", err)
+			return 2
+		}
+		diags, err := analysis.LintSource(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "csdsim: %s: %v\n", path, err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Printf("%s [%s]\n", d.Format(path), d.Severity)
+		}
+		if analysis.HasErrors(diags) {
+			status = 1
+		}
+	}
+	return status
 }

@@ -1,0 +1,35 @@
+package analysis
+
+import "testing"
+
+// FuzzAnalyze asserts the whole vet path — parse, analyze, lint — never
+// panics on arbitrary source. Parse errors end the case; anything the
+// parser accepts must flow through the dataflow solver and every lint
+// rule without crashing.
+func FuzzAnalyze(f *testing.F) {
+	seeds := []string{
+		"x = 1\n",
+		"break\n",
+		"for i in range(3):\n    break\n    x = 1\n",
+		"y = ghost + 1\n",
+		"for i in range(2):\n    if i:\n        break\n    k = 1\n",
+		"a = mystery(1, 2, 3)\n",
+		"t = load(\"x\")\nprint(t)\nstore(\"o\", t)\n",
+		"z = 1\nz = 2\nz = 3\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		diags, err := LintSource(src)
+		if err != nil {
+			return
+		}
+		for _, d := range diags {
+			if d.Code == "" || d.Msg == "" {
+				t.Errorf("empty diagnostic field: %+v", d)
+			}
+			_ = d.Format("fuzz.apy")
+		}
+	})
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden lint files")
+
+// TestLintGolden checks the full diagnostic stream of each testdata
+// program against its .golden file. Regenerate with `go test -update`.
+func TestLintGolden(t *testing.T) {
+	srcs, err := filepath.Glob(filepath.Join("testdata", "*.apy"))
+	if err != nil || len(srcs) == 0 {
+		t.Fatalf("no testdata programs: %v", err)
+	}
+	for _, srcPath := range srcs {
+		name := strings.TrimSuffix(filepath.Base(srcPath), ".apy")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(srcPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags, err := LintSource(string(src))
+			if err != nil {
+				t.Fatalf("lint: %v", err)
+			}
+			var sb strings.Builder
+			for _, d := range diags {
+				sb.WriteString(d.Format(name + ".apy"))
+				sb.WriteString(" [")
+				sb.WriteString(d.Severity.String())
+				sb.WriteString("]\n")
+			}
+			got := sb.String()
+
+			goldenPath := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test -update`): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics differ from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}
+
+func TestLintCleanProgram(t *testing.T) {
+	diags, err := LintSource(`t = load("x")
+s = vsum(t)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("clean program produced diagnostics: %v", diags)
+	}
+}
+
+func TestLintParseError(t *testing.T) {
+	if _, err := LintSource("for = = 1\n"); err == nil {
+		t.Error("parse failure must surface as an error, not diagnostics")
+	}
+}
+
+func TestHasErrors(t *testing.T) {
+	if HasErrors([]Diagnostic{{Severity: SevWarning}}) {
+		t.Error("warnings alone are not errors")
+	}
+	if !HasErrors([]Diagnostic{{Severity: SevWarning}, {Severity: SevError}}) {
+		t.Error("an error-severity diagnostic must be detected")
+	}
+}

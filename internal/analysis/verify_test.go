@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"activego/internal/codegen"
+)
+
+func TestVerifyRejectsHostOnlyOffload(t *testing.T) {
+	rep := mustAnalyze(t, `t = load("x")
+s = vsum(t)
+print(s)
+`)
+	diags := rep.Verify(codegen.NewPartition(1, 2, 3))
+	var hit *Diagnostic
+	for i := range diags {
+		if diags[i].Code == CodeIllegalOffload {
+			hit = &diags[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no %s diagnostic in %v", CodeIllegalOffload, diags)
+	}
+	if hit.Line != 3 || hit.Severity != SevError {
+		t.Errorf("diagnostic = %+v, want error at line 3", *hit)
+	}
+	if !strings.Contains(hit.Msg, "line 3") || !strings.Contains(hit.Msg, "print") {
+		t.Errorf("message %q must name the line and the builtin", hit.Msg)
+	}
+	if err := rep.VerifyError(codegen.NewPartition(3)); err == nil {
+		t.Error("VerifyError must reject the print-bearing line")
+	}
+}
+
+func TestVerifyAcceptsLegalPartition(t *testing.T) {
+	rep := mustAnalyze(t, `t = load("x")
+s = vsum(t)
+print(s)
+`)
+	if err := rep.VerifyError(codegen.NewPartition(1, 2)); err != nil {
+		t.Errorf("legal partition rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsUnknownLine(t *testing.T) {
+	rep := mustAnalyze(t, `x = 1
+`)
+	diags := rep.Verify(codegen.NewPartition(99))
+	found := false
+	for _, d := range diags {
+		if d.Code == CodeUnknownLine && d.Severity == SevError && strings.Contains(d.Msg, "99") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no %s for nonexistent line: %v", CodeUnknownLine, diags)
+	}
+}
+
+func TestVerifyRejectsUseBeforeDef(t *testing.T) {
+	rep := mustAnalyze(t, `y = x + 1
+`)
+	err := rep.VerifyError(codegen.NewPartition())
+	if err == nil {
+		t.Fatal("use-before-def must fail verification regardless of placement")
+	}
+	if !strings.Contains(err.Error(), "line 1") || !strings.Contains(err.Error(), `"x"`) {
+		t.Errorf("error %q must name line 1 and variable x", err)
+	}
+}
+
+func TestVerifyWarnsOnPingPong(t *testing.T) {
+	// v's def-use edges: 1->2, 3->4, 3->5. With lines 2, 4, 5 on the CSD
+	// and 1, 3 on the host, all three edges cross the link.
+	src := `v = 1
+a = v + 1
+v = a + 1
+b = v + 1
+c = b + v
+`
+	rep := mustAnalyze(t, src)
+	part := codegen.NewPartition(2, 4, 5) // 1 and 3 stay on host
+	var warn *Diagnostic
+	for _, d := range rep.Verify(part) {
+		if d.Code == CodePingPong {
+			dd := d
+			warn = &dd
+		}
+	}
+	if warn == nil {
+		t.Fatalf("expected %s warning; edges crossing for v: 1->2, 3->4, 4 uses... %v", CodePingPong, rep.Deps)
+	}
+	if warn.Severity != SevWarning {
+		t.Errorf("ping-pong must be a warning, got %v", warn.Severity)
+	}
+	if !strings.Contains(warn.Msg, `"v"`) {
+		t.Errorf("warning %q must name the variable", warn.Msg)
+	}
+}
+
+func TestHostPinnedReasons(t *testing.T) {
+	rep := mustAnalyze(t, `store("out", 1)
+x = frobnicate(2)
+`)
+	pinned := rep.HostPinned()
+	if r := pinned[1]; !strings.Contains(r, "store") {
+		t.Errorf("line 1 reason %q must name store", r)
+	}
+	if r := pinned[2]; !strings.Contains(r, "frobnicate") {
+		t.Errorf("line 2 reason %q must name the unknown builtin", r)
+	}
+}

@@ -1,0 +1,25 @@
+package analysis
+
+import (
+	"testing"
+
+	"activego/internal/workloads"
+)
+
+type namedSource struct {
+	name string
+	code string
+}
+
+// workloadSources returns the source of every embedded workload program,
+// built at test scale (source text does not depend on scale).
+func workloadSources(t *testing.T) []namedSource {
+	t.Helper()
+	p := workloads.TestParams()
+	var out []namedSource
+	for _, spec := range workloads.All() {
+		inst := spec.Build(p)
+		out = append(out, namedSource{name: spec.Name, code: inst.Source})
+	}
+	return out
+}

@@ -22,6 +22,7 @@ package core
 import (
 	"fmt"
 
+	"activego/internal/analysis"
 	"activego/internal/codegen"
 	"activego/internal/exec"
 	"activego/internal/inputs"
@@ -58,13 +59,14 @@ func DefaultConfig() Config {
 
 // Outcome bundles everything one ActivePy execution produced.
 type Outcome struct {
-	Program *ast.Program
-	Profile *profile.Report
-	Plan    *plan.Result
-	Trace   *interp.Trace
-	Env     *interp.Env
-	Outputs map[string]value.Value
-	Exec    *exec.Result
+	Program  *ast.Program
+	Analysis *analysis.Report
+	Profile  *profile.Report
+	Plan     *plan.Result
+	Trace    *interp.Trace
+	Env      *interp.Env
+	Outputs  map[string]value.Value
+	Exec     *exec.Result
 }
 
 // Runtime is an ActivePy instance bound to one platform.
@@ -95,9 +97,20 @@ func (rt *Runtime) PreloadInputs(reg *inputs.Registry) {
 // Analyze runs steps 1–3: parse, sample, and plan, without executing at
 // full scale. Examples and the accuracy experiment use it directly.
 func (rt *Runtime) Analyze(src string, reg *inputs.Registry) (*ast.Program, *profile.Report, *plan.Result, error) {
+	prog, _, report, planRes, err := rt.analyzeAll(src, reg)
+	return prog, report, planRes, err
+}
+
+// analyzeAll is Analyze plus the static-analysis report: parse, analyze,
+// sample, and plan with illegal lines masked from the planner.
+func (rt *Runtime) analyzeAll(src string, reg *inputs.Registry) (*ast.Program, *analysis.Report, *profile.Report, *plan.Result, error) {
 	prog, err := parser.Parse(src)
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("core: parse: %w", err)
+		return nil, nil, nil, nil, fmt.Errorf("core: parse: %w", err)
+	}
+	static, err := analysis.Analyze(prog)
+	if err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("core: static analysis: %w", err)
 	}
 	scales := rt.SampleScales
 	if scales == nil {
@@ -105,20 +118,21 @@ func (rt *Runtime) Analyze(src string, reg *inputs.Registry) (*ast.Program, *pro
 	}
 	report, err := profile.RunScales(prog, reg, scales)
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("core: sampling phase: %w", err)
+		return nil, nil, nil, nil, fmt.Errorf("core: sampling phase: %w", err)
 	}
 	estimates := plan.BuildEstimates(report.Predictions(), rt.Machine, codegen.Native)
-	planRes := plan.Optimal(estimates, rt.Machine)
-	return prog, report, planRes, nil
+	cons := plan.Constraints{HostOnly: static.HostPinned()}
+	planRes := plan.Optimal(estimates, cons, rt.Machine)
+	return prog, static, report, planRes, nil
 }
 
 // Run executes src over reg with the full ActivePy pipeline.
 func (rt *Runtime) Run(src string, reg *inputs.Registry, cfg Config) (*Outcome, error) {
-	prog, report, planRes, err := rt.Analyze(src, reg)
+	prog, static, report, planRes, err := rt.analyzeAll(src, reg)
 	if err != nil {
 		return nil, err
 	}
-	return rt.execute(prog, report, planRes, reg, cfg)
+	return rt.execute(prog, static, report, planRes, reg, cfg)
 }
 
 // RunWithPartition executes src with an externally chosen partition (the
@@ -131,6 +145,13 @@ func (rt *Runtime) RunWithPartition(src string, reg *inputs.Registry, part codeg
 	if err != nil {
 		return nil, fmt.Errorf("core: parse: %w", err)
 	}
+	// Programmer-directed partitions get the same legality gate as the
+	// planner's: the analysis report travels into exec, which refuses
+	// illegal offloads before any simulated work happens.
+	static, err := analysis.Analyze(prog)
+	if err != nil {
+		return nil, fmt.Errorf("core: static analysis: %w", err)
+	}
 	trace, env, err := rt.traceRun(prog, reg)
 	if err != nil {
 		return nil, err
@@ -140,11 +161,12 @@ func (rt *Runtime) RunWithPartition(src string, reg *inputs.Registry, part codeg
 		Partition:     part,
 		OverheadScale: overheadScale,
 		UseCallQueue:  !part.Empty(),
+		Analysis:      static,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Outcome{Program: prog, Trace: trace.trace, Env: env, Outputs: trace.outputs, Exec: res}, nil
+	return &Outcome{Program: prog, Analysis: static, Trace: trace.trace, Env: env, Outputs: trace.outputs, Exec: res}, nil
 }
 
 type traced struct {
@@ -161,7 +183,7 @@ func (rt *Runtime) traceRun(prog *ast.Program, reg *inputs.Registry) (*traced, *
 	return &traced{trace: trace, outputs: ctx.Outputs}, env, nil
 }
 
-func (rt *Runtime) execute(prog *ast.Program, report *profile.Report, planRes *plan.Result, reg *inputs.Registry, cfg Config) (*Outcome, error) {
+func (rt *Runtime) execute(prog *ast.Program, static *analysis.Report, report *profile.Report, planRes *plan.Result, reg *inputs.Registry, cfg Config) (*Outcome, error) {
 	trace, env, err := rt.traceRun(prog, reg)
 	if err != nil {
 		return nil, err
@@ -178,17 +200,19 @@ func (rt *Runtime) execute(prog *ast.Program, report *profile.Report, planRes *p
 		SamplingOverhead: SamplingOverhead,
 		OverheadScale:    cfg.OverheadScale,
 		UseCallQueue:     cfg.UseCallQueue,
+		Analysis:         static,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Outcome{
-		Program: prog,
-		Profile: report,
-		Plan:    planRes,
-		Trace:   trace.trace,
-		Env:     env,
-		Outputs: trace.outputs,
-		Exec:    res,
+		Program:  prog,
+		Analysis: static,
+		Profile:  report,
+		Plan:     planRes,
+		Trace:    trace.trace,
+		Env:      env,
+		Outputs:  trace.outputs,
+		Exec:     res,
 	}, nil
 }

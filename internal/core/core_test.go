@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"strings"
+
 	"testing"
 
 	"activego/internal/codegen"
@@ -122,5 +124,70 @@ func TestDefaultSampleScalesAreThePapers(t *testing.T) {
 	}
 	if len(profile.Scales) != 4 || profile.Scales[0] != 1.0/1024 || profile.Scales[3] != 1.0/128 {
 		t.Errorf("paper scale factors changed: %v", profile.Scales)
+	}
+}
+
+// printProgram ends with an externally visible host-only effect: the
+// print on line 4 pins that line to the host.
+const printProgram = `v = load("sensors")
+big = vselect(v, vgt(v, 0.5))
+s = vsum(big)
+print(s)
+`
+
+func TestPlannerNeverSelectsHostOnlyLine(t *testing.T) {
+	reg := scanRegistry(1 << 18)
+	rt := newRuntime()
+	rt.PreloadInputs(reg)
+	cfg := core.DefaultConfig()
+	cfg.OverheadScale = 1e-4
+	out, err := rt.Run(printProgram, reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Plan.Partition.OnCSD(4) {
+		t.Errorf("planner offloaded the print line: %v", out.Plan.Partition.Lines())
+	}
+	if out.Analysis == nil {
+		t.Fatal("outcome carries no analysis report")
+	}
+	// The chosen partition must pass its own verification.
+	if verr := out.Analysis.VerifyError(out.Plan.Partition); verr != nil {
+		t.Errorf("planner produced an illegal partition: %v", verr)
+	}
+	// The scan itself must still offload: masking line 3 does not cost
+	// lines 1-2 their placement.
+	if !out.Plan.Partition.OnCSD(1) || !out.Plan.Partition.OnCSD(2) {
+		t.Errorf("plan %v should still offload the scan", out.Plan.Partition.Lines())
+	}
+	if out.Plan.Planner == "" {
+		t.Error("Result.Planner not recorded")
+	}
+}
+
+func TestIllegalPartitionRejectedBeforeExecution(t *testing.T) {
+	reg := scanRegistry(1 << 16)
+	rt := newRuntime()
+	rt.PreloadInputs(reg)
+	// Deliberately offload the print-bearing line: the exec gate must
+	// refuse it with a diagnostic naming the line and the builtin.
+	_, err := rt.RunWithPartition(printProgram, reg, codegen.NewPartition(1, 2, 4), codegen.C, 1e-4)
+	if err == nil {
+		t.Fatal("illegal partition executed")
+	}
+	if !strings.Contains(err.Error(), "line 4") || !strings.Contains(err.Error(), "print") {
+		t.Errorf("error %q must name line 4 and print", err)
+	}
+}
+
+func TestUseBeforeDefRejectedBeforeExecution(t *testing.T) {
+	reg := scanRegistry(1 << 16)
+	rt := newRuntime()
+	rt.PreloadInputs(reg)
+	// ghost has no definition anywhere; verification rejects the program
+	// before the trace run would fail on it.
+	_, err := rt.RunWithPartition("v = load(\"sensors\")\ns = vsum(ghost)\n", reg, codegen.NewPartition(1), codegen.C, 1e-4)
+	if err == nil {
+		t.Fatal("use-before-def executed")
 	}
 }

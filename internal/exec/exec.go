@@ -25,6 +25,7 @@ package exec
 import (
 	"fmt"
 
+	"activego/internal/analysis"
 	"activego/internal/codegen"
 	"activego/internal/csd"
 	"activego/internal/lang/interp"
@@ -119,6 +120,11 @@ type Options struct {
 	// Recovery configures failure-driven degradation; the zero value
 	// turns any line failure into a run error.
 	Recovery RecoveryPolicy
+	// Analysis, when set, gates execution on static verification: Run
+	// refuses a partition that offloads a host-only line or a program
+	// with a use before any definition. Nil skips the gate (traces from
+	// tests that fabricate records have no program to analyze).
+	Analysis *analysis.Report
 }
 
 // overheadScale resolves the overhead multiplier.
@@ -200,6 +206,13 @@ type executor struct {
 func Run(p *platform.Platform, trace *interp.Trace, opts Options) (*Result, error) {
 	if opts.Migration.Enabled && opts.Estimates == nil {
 		return nil, fmt.Errorf("exec: migration enabled without line estimates")
+	}
+	// The post-hoc legality gate (§III-B refined): no partition reaches
+	// codegen or the device unless the static analysis signs off.
+	if opts.Analysis != nil {
+		if err := opts.Analysis.VerifyError(opts.Partition); err != nil {
+			return nil, fmt.Errorf("exec: rejected partition: %w", err)
+		}
 	}
 	e := &executor{
 		p:       p,

@@ -226,3 +226,44 @@ type Index struct {
 
 func (Index) exprNode()        {}
 func (i Index) String() string { return fmt.Sprintf("%s[%s]", i.X, i.Idx) }
+
+// ---- Traversal ----
+
+// WalkExpr applies fn to e and every sub-expression, outermost first.
+func WalkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *UnaryOp:
+		WalkExpr(x.X, fn)
+	case *BinOp:
+		WalkExpr(x.Left, fn)
+		WalkExpr(x.Right, fn)
+	case *Call:
+		for _, a := range x.Args {
+			WalkExpr(a, fn)
+		}
+	case *Index:
+		WalkExpr(x.X, fn)
+		WalkExpr(x.Idx, fn)
+	}
+}
+
+// ExprsOf returns the expressions a statement evaluates on its own line
+// (not those of nested block statements): the RHS of an assignment, the
+// bare expression, the range arguments, or the branch condition.
+func ExprsOf(s Stmt) []Expr {
+	switch st := s.(type) {
+	case *Assign:
+		return []Expr{st.Value}
+	case *ExprStmt:
+		return []Expr{st.Expr}
+	case *For:
+		return append([]Expr(nil), st.Range...)
+	case *If:
+		return []Expr{st.Cond}
+	}
+	return nil
+}

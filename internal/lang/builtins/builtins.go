@@ -33,28 +33,75 @@ type Context interface {
 	Store(name string, v value.Value) (int64, error)
 }
 
+// Effect is a builtin's statically declared interaction with the world
+// outside its arguments. The static analysis pass derives per-line
+// offload legality from it: a line is only eligible for the CSD when
+// every builtin it calls is at most EffectReadsStorage.
+type Effect int
+
+// Effect signatures, ordered by how much they constrain placement.
+const (
+	// EffectPure computes a value from its arguments and touches nothing
+	// else. Legal anywhere.
+	EffectPure Effect = iota
+	// EffectReadsStorage reads named storage objects (load, load_block).
+	// Legal anywhere — reading near the data is the whole point of ISP.
+	EffectReadsStorage
+	// EffectHostOnly has an externally visible effect that must happen on
+	// the host in program order (print's console output, store's
+	// persisted result object). Offloading such a line is illegal: the
+	// effect would fire device-side, invisible to the host runtime.
+	EffectHostOnly
+)
+
+func (e Effect) String() string {
+	switch e {
+	case EffectPure:
+		return "pure"
+	case EffectReadsStorage:
+		return "reads-storage"
+	case EffectHostOnly:
+		return "host-only"
+	}
+	return fmt.Sprintf("effect(%d)", int(e))
+}
+
 // Builtin is one kernel.
 type Builtin struct {
 	Name     string
 	Arity    int // exact argument count; -1 means variadic
 	MinArity int // for variadic builtins
+	Effect   Effect
 	Fn       func(ctx Context, args []value.Value) (value.Value, value.Cost, error)
 }
 
 var registry = map[string]*Builtin{}
 
 func register(name string, arity int, fn func(ctx Context, args []value.Value) (value.Value, value.Cost, error)) {
-	if _, dup := registry[name]; dup {
-		panic(fmt.Sprintf("builtins: duplicate registration of %q", name))
-	}
-	registry[name] = &Builtin{Name: name, Arity: arity, MinArity: arity, Fn: fn}
+	registerEffect(name, arity, EffectPure, fn)
 }
 
-func registerVariadic(name string, minArity int, fn func(ctx Context, args []value.Value) (value.Value, value.Cost, error)) {
+func registerEffect(name string, arity int, effect Effect, fn func(ctx Context, args []value.Value) (value.Value, value.Cost, error)) {
 	if _, dup := registry[name]; dup {
 		panic(fmt.Sprintf("builtins: duplicate registration of %q", name))
 	}
-	registry[name] = &Builtin{Name: name, Arity: -1, MinArity: minArity, Fn: fn}
+	registry[name] = &Builtin{Name: name, Arity: arity, MinArity: arity, Effect: effect, Fn: fn}
+}
+
+func registerVariadicEffect(name string, minArity int, effect Effect, fn func(ctx Context, args []value.Value) (value.Value, value.Cost, error)) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("builtins: duplicate registration of %q", name))
+	}
+	registry[name] = &Builtin{Name: name, Arity: -1, MinArity: minArity, Effect: effect, Fn: fn}
+}
+
+// EffectOf reports the declared effect signature of a builtin.
+func EffectOf(name string) (Effect, bool) {
+	b, ok := registry[name]
+	if !ok {
+		return EffectPure, false
+	}
+	return b.Effect, true
 }
 
 // Lookup finds a builtin by name.

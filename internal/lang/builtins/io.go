@@ -10,7 +10,7 @@ func init() {
 	// load(name) pulls a named input object. StorageBytes carries the
 	// access volume; the execution layer decides which interconnects the
 	// bytes cross (that decision is the heart of Equation 1).
-	register("load", 1, func(ctx Context, args []value.Value) (value.Value, value.Cost, error) {
+	registerEffect("load", 1, EffectReadsStorage, func(ctx Context, args []value.Value) (value.Value, value.Cost, error) {
 		name, err := argStr("load", args, 0)
 		if err != nil {
 			return nil, value.Cost{}, err
@@ -47,7 +47,7 @@ func init() {
 	// input object. Scan workloads stream storage in blocks — the natural
 	// shape for in-storage processing, and what gives the runtime monitor
 	// line boundaries frequent enough to migrate at (§III-D).
-	register("load_block", 3, func(ctx Context, args []value.Value) (value.Value, value.Cost, error) {
+	registerEffect("load_block", 3, EffectReadsStorage, func(ctx Context, args []value.Value) (value.Value, value.Cost, error) {
 		name, err := argStr("load_block", args, 0)
 		if err != nil {
 			return nil, value.Cost{}, err
@@ -92,8 +92,10 @@ func init() {
 		}, nil
 	})
 
-	// store(name, v) persists a result object.
-	register("store", 2, func(ctx Context, args []value.Value) (value.Value, value.Cost, error) {
+	// store(name, v) persists a result object. Host-only: the stored
+	// object is the program's externally visible output, and the host
+	// runtime owns the object namespace it lands in.
+	registerEffect("store", 2, EffectHostOnly, func(ctx Context, args []value.Value) (value.Value, value.Cost, error) {
 		name, err := argStr("store", args, 0)
 		if err != nil {
 			return nil, value.Cost{}, err
@@ -128,8 +130,10 @@ func init() {
 		return c, value.Cost{GlueWork: GlueVector * 4, CopyBytes: copyBytes(n * 8), Elements: 0}, nil
 	})
 
-	// print(v...) is a diagnostic sink; free.
-	registerVariadic("print", 0, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
+	// print(v...) is a diagnostic sink; free, but host-only: console
+	// output is an externally visible effect and there is no console on
+	// the CSE.
+	registerVariadicEffect("print", 0, EffectHostOnly, func(_ Context, args []value.Value) (value.Value, value.Cost, error) {
 		return value.None{}, value.Cost{}, nil
 	})
 }

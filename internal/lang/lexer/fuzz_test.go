@@ -1,0 +1,30 @@
+package lexer
+
+import "testing"
+
+// FuzzLexer asserts the lexer's only failure mode is a returned error:
+// no input may panic it, and a successful lex of a non-empty program
+// yields at least one token (the EOF/newline structure).
+func FuzzLexer(f *testing.F) {
+	seeds := []string{
+		"",
+		"x = 1\n",
+		"for i in range(10):\n    x = i * 2\n",
+		"if a >= 3.5 and not b:\n    pass\nelse:\n    break\n",
+		"s = vsum(vmul(col(t, \"price\"), col(t, \"disc\")))\n",
+		"x = 0xff\n",
+		"y = \"unterminated",
+		"z = 1e",
+		"\t mixed \t indent\n  back\n",
+		"a = 1 ** 2 // 3 % 4 != 5\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Lex(src)
+		if err == nil && len(src) > 0 && len(toks) == 0 {
+			t.Errorf("lex of %q succeeded with zero tokens", src)
+		}
+	})
+}

@@ -1,0 +1,41 @@
+package parser
+
+import "testing"
+
+// FuzzParser asserts the parser never panics: any input either parses
+// into a program or returns an error. A parsed program must also render
+// (String) and re-walk without panicking, since diagnostics and the
+// static analysis both traverse whatever the parser hands back.
+func FuzzParser(f *testing.F) {
+	seeds := []string{
+		"",
+		"x = 1\n",
+		"x += y\n",
+		"for i in range(3):\n    acc = acc + i\n",
+		"if x > 0:\n    y = 1\nelif x < 0:\n    y = 2\nelse:\n    y = 3\n",
+		"for i in range(2):\n    for j in range(2):\n        if i == j:\n            break\n",
+		"t = load(\"x\")\ns = vsum(t)\nprint(s)\n",
+		"a = b[c][d]\n",
+		"x = ((((1))))\n",
+		"pass\nbreak\n",
+		"x = -(-(-1)) ** 2\n",
+		"w = f(",
+		"for for for\n",
+		"if:\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if prog == nil {
+			t.Error("nil program with nil error")
+			return
+		}
+		_ = prog.String()
+		_ = prog.MaxLine()
+	})
+}

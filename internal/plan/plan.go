@@ -133,12 +133,40 @@ func BuildEstimates(preds []profile.Prediction, m Machine, b codegen.Backend) []
 	return out
 }
 
+// Constraints carries the static analysis's placement restrictions into
+// the planners. The zero value means "no restrictions". plan deliberately
+// does not import internal/analysis — the analysis package depends on
+// codegen, and callers (core) adapt analysis.Report.HostPinned() into
+// this lightweight form.
+type Constraints struct {
+	// HostOnly maps a line that must not run on the CSD to the reason
+	// (e.g. `host-only builtin "print"`).
+	HostOnly map[int]string
+}
+
+// Pinned reports whether line is barred from the CSD, and why.
+func (c Constraints) Pinned(line int) (string, bool) {
+	reason, ok := c.HostOnly[line]
+	return reason, ok
+}
+
+// Planner labels for Result.Planner.
+const (
+	PlannerOptimal           = "optimal"
+	PlannerAlgorithm1        = "algorithm1"
+	PlannerAlgorithm1Literal = "algorithm1-literal"
+)
+
 // Result is the planner's output.
 type Result struct {
 	Partition codegen.Partition
 	Estimates []LineEstimate
 	THost     float64 // projected all-host execution time
 	TCSD      float64 // projected time under the chosen partition
+	// Planner names the algorithm that actually produced the partition.
+	// Optimal silently falls back to Algorithm1 beyond maxOptimalLines,
+	// so this is the only record of which argmin the caller really got.
+	Planner string
 }
 
 // ByLine indexes the estimates.
@@ -177,6 +205,19 @@ func deltaOnCSD(e *LineEstimate, refundBudget float64, inputNearCSD bool, m Mach
 	return d, 0
 }
 
+// chainAbandonSlack is the cumulative-delta margin (in seconds) above the
+// best prefix at which Algorithm1 stops extending a tentative chain. The
+// line-local component, e.HostTotal(), lets the chain ride out one
+// expensive line whose refund arrives with the next consumer; the
+// constant adds absolute slack so that near-zero-cost lines (scalar
+// updates whose HostTotal is microseconds) don't sever a chain over
+// queue-overhead noise. One second is far above any single line's
+// overhead at the simulated rates and far below the point where extending
+// a doomed chain could flip a commit decision: the chain commits only its
+// best prefix, so extra exploration can only find a better prefix, never
+// a worse one. The value is pinned by TestChainSlackRidesOutCheapLines.
+const chainAbandonSlack = 1.0
+
 // Algorithm1 is the paper's greedy CSD code assignment (§III-B), with the
 // chain-commit refinement its prose demands. The pseudocode's per-line
 // delta charges every offloaded line's D_out return transfer, which the
@@ -189,7 +230,10 @@ func deltaOnCSD(e *LineEstimate, refundBudget float64, inputNearCSD bool, m Mach
 // commits the chain prefix whose cumulative delta is the most negative —
 // exactly the shortest-time assignment over the scan. Algorithm1Literal
 // keeps the unrefined pseudocode for the planner ablation.
-func Algorithm1(estimates []LineEstimate, m Machine) *Result {
+//
+// Lines pinned by cons are never offloaded: a pinned line terminates any
+// tentative chain (control must return to the host there regardless).
+func Algorithm1(estimates []LineEstimate, cons Constraints, m Machine) *Result {
 	var tHost float64
 	for i := range estimates {
 		tHost += estimates[i].HostTotal()
@@ -199,6 +243,10 @@ func Algorithm1(estimates []LineEstimate, m Machine) *Result {
 
 	i := 0
 	for i < len(estimates) {
+		if _, pinned := cons.Pinned(estimates[i].Line); pinned {
+			i++
+			continue
+		}
 		// Open a tentative chain at line i and extend it while tracking
 		// the best (lowest cumulative delta) prefix. The refund budget is
 		// the output volume produced so far within the chain: consuming
@@ -210,6 +258,9 @@ func Algorithm1(estimates []LineEstimate, m Machine) *Result {
 		j := i
 		for ; j < len(estimates); j++ {
 			e := &estimates[j]
+			if _, pinned := cons.Pinned(e.Line); pinned {
+				break // the chain cannot extend through a host-pinned line
+			}
 			// Within a chain the predecessor is tentatively on the CSD;
 			// at the chain head the input is near the CSD only for the
 			// very first program line (raw storage) or when the committed
@@ -228,7 +279,7 @@ func Algorithm1(estimates []LineEstimate, m Machine) *Result {
 			}
 			// A chain that has drifted far above its best prefix will not
 			// recover within Equation 1's linear accounting; stop extending.
-			if chainDelta > bestDelta+e.HostTotal()+1 {
+			if chainDelta > bestDelta+e.HostTotal()+chainAbandonSlack {
 				break
 			}
 		}
@@ -242,13 +293,13 @@ func Algorithm1(estimates []LineEstimate, m Machine) *Result {
 		}
 		i++
 	}
-	return &Result{Partition: part, Estimates: estimates, THost: tHost, TCSD: tCSD}
+	return &Result{Partition: part, Estimates: estimates, THost: tHost, TCSD: tCSD, Planner: PlannerAlgorithm1}
 }
 
 // Algorithm1Literal is the unrefined pseudocode of §III-B: each line must
 // lower the projected total by itself at the moment it is considered.
-// Kept for the planner ablation bench.
-func Algorithm1Literal(estimates []LineEstimate, m Machine) *Result {
+// Kept for the planner ablation bench. Lines pinned by cons are skipped.
+func Algorithm1Literal(estimates []LineEstimate, cons Constraints, m Machine) *Result {
 	var tHost float64
 	for i := range estimates {
 		tHost += estimates[i].HostTotal()
@@ -258,6 +309,9 @@ func Algorithm1Literal(estimates []LineEstimate, m Machine) *Result {
 	budget := 0.0
 	for i := range estimates {
 		e := &estimates[i]
+		if _, pinned := cons.Pinned(e.Line); pinned {
+			continue
+		}
 		inputNear := i == 0 || part.OnCSD(estimates[i-1].Line)
 		d, used := deltaOnCSD(e, budget, inputNear, m)
 		t := tCSD + d
@@ -268,7 +322,20 @@ func Algorithm1Literal(estimates []LineEstimate, m Machine) *Result {
 			budget += e.DOut
 		}
 	}
-	return &Result{Partition: part, Estimates: estimates, THost: tHost, TCSD: tCSD}
+	return &Result{Partition: part, Estimates: estimates, THost: tHost, TCSD: tCSD, Planner: PlannerAlgorithm1Literal}
+}
+
+// PlacementEval is EvaluatePlacement's detailed projection: the total
+// time plus the residency traffic the placement induces, broken out so
+// the billing model can be cross-checked against the executor's measured
+// transfer accounting.
+type PlacementEval struct {
+	Time float64
+	// CrossBytes is the named-variable traffic that crosses the host-CSD
+	// link because a line consumes a variable homed on the other side.
+	CrossBytes float64
+	// Crossings counts the individual variable moves behind CrossBytes.
+	Crossings int
 }
 
 // EvaluatePlacement projects the total execution time of an arbitrary
@@ -279,16 +346,24 @@ func Algorithm1Literal(estimates []LineEstimate, m Machine) *Result {
 // quantities are all here — this is the equation evaluated over a whole
 // placement rather than one line.
 func EvaluatePlacement(estimates []LineEstimate, part codegen.Partition, m Machine) float64 {
+	return EvaluatePlacementDetail(estimates, part, m).Time
+}
+
+// EvaluatePlacementDetail is EvaluatePlacement with the residency-billing
+// internals exposed.
+func EvaluatePlacementDetail(estimates []LineEstimate, part codegen.Partition, m Machine) PlacementEval {
 	xfer := func(bytes float64) float64 { return bytes/m.D2HBW + m.D2HLat }
 	home := map[string]bool{} // true = device-resident
-	var total float64
+	var ev PlacementEval
 	for i := range estimates {
 		e := &estimates[i]
 		onCSD := part.OnCSD(e.Line)
 		for _, r := range e.Reads {
 			dev, known := home[r.Name]
 			if known && dev != onCSD {
-				total += xfer(r.Bytes)
+				ev.Time += xfer(r.Bytes)
+				ev.CrossBytes += r.Bytes
+				ev.Crossings++
 				home[r.Name] = onCSD
 			}
 		}
@@ -296,12 +371,12 @@ func EvaluatePlacement(estimates []LineEstimate, part codegen.Partition, m Machi
 			home[w.Name] = onCSD
 		}
 		if onCSD {
-			total += e.DevTotal() + e.QueueOverhead(m)
+			ev.Time += e.DevTotal() + e.QueueOverhead(m)
 		} else {
-			total += e.HostTotal()
+			ev.Time += e.HostTotal()
 		}
 	}
-	return total
+	return ev
 }
 
 // maxOptimalLines bounds Optimal's exhaustive enumeration.
@@ -315,11 +390,22 @@ const maxOptimalLines = 16
 // can afford the exact argmin of Equation 1 over its sampled estimates
 // instead of a greedy walk. Algorithm1 and Algorithm1Literal remain
 // available for the planner ablation. Falls back to Algorithm1 beyond
-// maxOptimalLines lines.
-func Optimal(estimates []LineEstimate, m Machine) *Result {
-	n := len(estimates)
+// maxOptimalLines offloadable lines — Result.Planner records which
+// algorithm actually ran.
+//
+// Lines pinned by cons are excluded from the enumeration, so no
+// candidate partition ever places them on the CSD.
+func Optimal(estimates []LineEstimate, cons Constraints, m Machine) *Result {
+	// Only unpinned lines participate in the enumeration.
+	var free []int // indices into estimates
+	for i := range estimates {
+		if _, pinned := cons.Pinned(estimates[i].Line); !pinned {
+			free = append(free, i)
+		}
+	}
+	n := len(free)
 	if n > maxOptimalLines {
-		return Algorithm1(estimates, m)
+		return Algorithm1(estimates, cons, m)
 	}
 	tHost := EvaluatePlacement(estimates, codegen.NewPartition(), m)
 	best := codegen.NewPartition()
@@ -328,7 +414,7 @@ func Optimal(estimates []LineEstimate, m Machine) *Result {
 		part := codegen.NewPartition()
 		for i := 0; i < n; i++ {
 			if mask&(1<<i) != 0 {
-				part.CSDLines[estimates[i].Line] = true
+				part.CSDLines[estimates[free[i]].Line] = true
 			}
 		}
 		t := EvaluatePlacement(estimates, part, m)
@@ -337,11 +423,15 @@ func Optimal(estimates []LineEstimate, m Machine) *Result {
 			best = part
 		}
 	}
-	return &Result{Partition: best, Estimates: estimates, THost: tHost, TCSD: bestT}
+	return &Result{Partition: best, Estimates: estimates, THost: tHost, TCSD: bestT, Planner: PlannerOptimal}
 }
 
 // Describe renders the plan for logs and examples.
 func (r *Result) Describe() string {
-	return fmt.Sprintf("plan: offload lines %v (projected %.3fs vs all-host %.3fs)",
-		r.Partition.Lines(), r.TCSD, r.THost)
+	planner := r.Planner
+	if planner == "" {
+		planner = "unknown"
+	}
+	return fmt.Sprintf("plan[%s]: offload lines %v (projected %.3fs vs all-host %.3fs)",
+		planner, r.Partition.Lines(), r.TCSD, r.THost)
 }

@@ -44,7 +44,7 @@ func scanPipeline() []LineEstimate {
 
 func TestOptimalOffloadsScanPipeline(t *testing.T) {
 	m := testMachine()
-	res := Optimal(scanPipeline(), m)
+	res := Optimal(scanPipeline(), Constraints{}, m)
 	if !res.Partition.OnCSD(1) || !res.Partition.OnCSD(2) {
 		t.Errorf("scan pipeline should offload load+filter: %v", res.Partition.Lines())
 	}
@@ -61,7 +61,7 @@ func TestOptimalKeepsComputeBoundOnHost(t *testing.T) {
 		est(1, 0.0005, 0.0008, 0.0004, 0, 4*mb, "", "a"),
 		est(2, 0.050, 0, 0, 4*mb, 4*mb, "a", "c"), // heavy compute, no shrink
 	}
-	res := Optimal(ests, m)
+	res := Optimal(ests, Constraints{}, m)
 	if res.Partition.OnCSD(2) {
 		t.Errorf("compute-bound line offloaded: %v", res.Partition.Lines())
 	}
@@ -70,8 +70,8 @@ func TestOptimalKeepsComputeBoundOnHost(t *testing.T) {
 func TestAlgorithm1MatchesOptimalOnPipeline(t *testing.T) {
 	m := testMachine()
 	ests := scanPipeline()
-	opt := Optimal(ests, m)
-	greedy := Algorithm1(ests, m)
+	opt := Optimal(ests, Constraints{}, m)
+	greedy := Algorithm1(ests, Constraints{}, m)
 	if !greedy.Partition.Equal(opt.Partition) {
 		t.Errorf("greedy %v vs optimal %v", greedy.Partition.Lines(), opt.Partition.Lines())
 	}
@@ -83,8 +83,8 @@ func TestAlgorithm1LiteralCannotStartUnprofitableChain(t *testing.T) {
 	// saving); the literal pseudocode therefore offloads nothing, while
 	// the chain-commit variant sees the whole pipeline.
 	ests := scanPipeline()
-	lit := Algorithm1Literal(ests, m)
-	chain := Algorithm1(ests, m)
+	lit := Algorithm1Literal(ests, Constraints{}, m)
+	chain := Algorithm1(ests, Constraints{}, m)
 	if len(lit.Partition.Lines()) >= len(chain.Partition.Lines()) {
 		t.Errorf("literal %v should offload less than chain %v",
 			lit.Partition.Lines(), chain.Partition.Lines())
@@ -115,7 +115,7 @@ func TestQueueOverheadDiscouragesTrivialLines(t *testing.T) {
 		est(1, 0, 0, 0, 0, 64, "", "x"),
 		est(2, 0, 0, 0, 64, 8, "x", "y"),
 	}
-	res := Optimal(ests, m)
+	res := Optimal(ests, Constraints{}, m)
 	if len(res.Partition.Lines()) != 0 {
 		t.Errorf("trivial lines offloaded: %v", res.Partition.Lines())
 	}
@@ -147,5 +147,112 @@ func TestBuildEstimatesUsesBackendAndC(t *testing.T) {
 	ei := BuildEstimates(preds, m, codegen.Interpreted)[0]
 	if ei.CTHost < e.CTHost+1.9 { // +1s glue +1s copies
 		t.Errorf("interpreted CTHost %v, want ~3s", ei.CTHost)
+	}
+}
+
+func TestConstraintsMaskPinnedLines(t *testing.T) {
+	m := testMachine()
+	cons := Constraints{HostOnly: map[int]string{1: `host-only builtin "print"`}}
+	// Without constraints the scan pipeline offloads lines 1-2; pinning
+	// line 1 must keep it off the CSD in every planner.
+	for name, run := range map[string]func([]LineEstimate, Constraints, Machine) *Result{
+		"optimal": Optimal, "algorithm1": Algorithm1, "algorithm1-literal": Algorithm1Literal,
+	} {
+		res := run(scanPipeline(), cons, m)
+		if res.Partition.OnCSD(1) {
+			t.Errorf("%s offloaded pinned line 1: %v", name, res.Partition.Lines())
+		}
+	}
+}
+
+func TestOptimalEnumeratesAroundPinnedLines(t *testing.T) {
+	m := testMachine()
+	// Pinning must reduce the enumeration space, not the estimate list:
+	// the other lines still compete for the CSD.
+	cons := Constraints{HostOnly: map[int]string{3: "x"}}
+	res := Optimal(scanPipeline(), cons, m)
+	if !res.Partition.OnCSD(1) || !res.Partition.OnCSD(2) {
+		t.Errorf("pinned line 3 should not stop lines 1-2 offloading: %v", res.Partition.Lines())
+	}
+	if res.Partition.OnCSD(3) {
+		t.Error("pinned line 3 offloaded")
+	}
+}
+
+func TestPlannerLabels(t *testing.T) {
+	m := testMachine()
+	ests := scanPipeline()
+	if got := Optimal(ests, Constraints{}, m).Planner; got != PlannerOptimal {
+		t.Errorf("Optimal label = %q", got)
+	}
+	if got := Algorithm1(ests, Constraints{}, m).Planner; got != PlannerAlgorithm1 {
+		t.Errorf("Algorithm1 label = %q", got)
+	}
+	if got := Algorithm1Literal(ests, Constraints{}, m).Planner; got != PlannerAlgorithm1Literal {
+		t.Errorf("Algorithm1Literal label = %q", got)
+	}
+}
+
+func TestOptimalFallbackRecordsActualPlanner(t *testing.T) {
+	m := testMachine()
+	// Beyond maxOptimalLines offloadable lines, Optimal silently runs
+	// Algorithm1 — Result.Planner must say so.
+	var ests []LineEstimate
+	for i := 1; i <= maxOptimalLines+1; i++ {
+		ests = append(ests, est(i, 0.001, 0, 0, 64, 64, "", ""))
+	}
+	res := Optimal(ests, Constraints{}, m)
+	if res.Planner != PlannerAlgorithm1 {
+		t.Errorf("fallback Planner = %q, want %q", res.Planner, PlannerAlgorithm1)
+	}
+}
+
+func TestDescribeNamesPlanner(t *testing.T) {
+	m := testMachine()
+	res := Optimal(scanPipeline(), Constraints{}, m)
+	if want := "plan[optimal]:"; len(res.Describe()) == 0 || res.Describe()[:len(want)] != want {
+		t.Errorf("Describe() = %q, want %q prefix", res.Describe(), want)
+	}
+}
+
+// TestChainSlackRidesOutCheapLines pins chainAbandonSlack's behavior: a
+// profitable chain interrupted by a near-zero-cost line whose own delta
+// is slightly positive (queue overhead) must survive to the profitable
+// tail. With slack 0 the chain would be abandoned at the cheap line,
+// because its positive delta exceeds bestDelta + HostTotal() (~0).
+func TestChainSlackRidesOutCheapLines(t *testing.T) {
+	m := testMachine()
+	const mb = 1 << 20
+	ests := []LineEstimate{
+		est(1, 0.0008, 0.0035, 0.0017, 0, 16*mb, "", "t"), // big link-bound load
+		est(2, 0, 0, 0, 8, 8, "", "k"),                    // free scalar line: tiny positive delta
+		est(3, 0.0004, 0, 0, 16*mb, 8, "t", "r"),          // the reduce that makes the chain pay
+	}
+	res := Algorithm1(ests, Constraints{}, m)
+	if !res.Partition.OnCSD(1) || !res.Partition.OnCSD(3) {
+		t.Fatalf("chain should survive the cheap middle line: %v", res.Partition.Lines())
+	}
+	// The slack must not be so large that the chain walk stops pruning:
+	// the constant is bounded by one second.
+	if chainAbandonSlack > 1.0 {
+		t.Errorf("chainAbandonSlack = %v, regression against pinned rationale (<= 1s)", chainAbandonSlack)
+	}
+}
+
+func TestEvaluatePlacementDetailExposesCrossings(t *testing.T) {
+	m := testMachine()
+	ests := scanPipeline()
+	// Middle line alone on the CSD: "t" crosses down (16 MB), "f" crosses
+	// back up at line 3 (1 MB).
+	ev := EvaluatePlacementDetail(ests, codegen.NewPartition(2), m)
+	const mb = 1 << 20
+	if ev.Crossings != 2 {
+		t.Errorf("Crossings = %d, want 2", ev.Crossings)
+	}
+	if want := float64(17 * mb); ev.CrossBytes != want {
+		t.Errorf("CrossBytes = %v, want %v", ev.CrossBytes, want)
+	}
+	if ev.Time != EvaluatePlacement(ests, codegen.NewPartition(2), m) {
+		t.Error("Detail.Time must equal EvaluatePlacement")
 	}
 }
