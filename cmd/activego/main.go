@@ -6,6 +6,7 @@
 // Usage:
 //
 //	activego -workload tpch-6 [-scalediv N] [-seed S] [-availability F] [-no-migration]
+//	         [-trace out.json] [-tracesummary]
 //	activego -list
 //	activego vet program.apy...          # static analysis / lint
 //	activego vet -workloads              # lint every embedded workload
@@ -22,6 +23,7 @@ import (
 	"activego/internal/core"
 	"activego/internal/platform"
 	"activego/internal/profile"
+	"activego/internal/trace"
 	"activego/internal/workloads"
 )
 
@@ -36,6 +38,8 @@ func main() {
 	avail := flag.Float64("availability", 1.0, "fraction of CSE time available (0,1]")
 	noMigration := flag.Bool("no-migration", false, "disable dynamic task migration")
 	showProfile := flag.Bool("profile", false, "print the sampling-phase curve fits per line")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file (open in Perfetto / chrome://tracing)")
+	traceSummary := flag.Bool("tracesummary", false, "print a per-component utilization and latency summary of the run")
 	flag.Parse()
 
 	if *list {
@@ -58,6 +62,11 @@ func main() {
 	p := platform.Default()
 	if *avail < 1 {
 		p.Dev.SetAvailability(*avail)
+	}
+	var rec *trace.Recorder
+	if *tracePath != "" || *traceSummary {
+		rec = trace.New()
+		p.SetRecorder(rec)
 	}
 	rt := core.New(p)
 	rt.SampleScales = profile.ScaledScales
@@ -91,6 +100,16 @@ func main() {
 	fmt.Printf("activepy: %.4f ms (migrated=%v, %d CSD / %d host line executions)\n",
 		out.Exec.Duration*1e3, out.Exec.Migrated, out.Exec.RecordsOnCSD, out.Exec.RecordsOnHost)
 
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, rec); err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace: wrote %s (open in Perfetto or chrome://tracing)\n", *tracePath)
+	}
+	if *traceSummary {
+		fmt.Printf("\n%s", rec.Summary())
+	}
+
 	base, err := baseline.RunHostOnly(platform.Default(), out.Trace, codegen.C)
 	if err != nil {
 		fail(err)
@@ -110,6 +129,19 @@ func main() {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "activego:", err)
 	os.Exit(1)
+}
+
+// writeTrace exports rec as Chrome trace-event JSON at path.
+func writeTrace(path string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runVet implements `activego vet`: the static-analysis lint surface.

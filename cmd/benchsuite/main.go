@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	benchsuite [-exp all|table1|fig2|fig4|fig5|accuracy|runtimeopt|robustness] [-scalediv N] [-seed S]
+//	benchsuite [-exp all|table1|fig2|fig4|fig5|accuracy|runtimeopt|robustness|utilization]
+//	           [-scalediv N] [-seed S] [-trace out.json] [-tracesummary]
 //
 // Inputs are synthesized at 1/scalediv of Table I's sizes (default 512,
 // ~10-18 MB per application); the shape of every result — who wins, by
@@ -22,9 +23,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, fig2, fig4, fig5, accuracy, runtimeopt, robustness")
+	exp := flag.String("exp", "all", "experiment: all, table1, fig2, fig4, fig5, accuracy, runtimeopt, robustness, utilization")
 	scaleDiv := flag.Int64("scalediv", 512, "divide Table I input sizes by this factor")
 	seed := flag.Int64("seed", 42, "generator seed")
+	tracePath := flag.String("trace", "", "with -exp utilization: write the traced run as Chrome trace-event JSON to this file")
+	traceSummary := flag.Bool("tracesummary", false, "with -exp utilization: print the traced run's per-component summary")
 	flag.Parse()
 
 	params := workloads.Params{ScaleDiv: *scaleDiv, Seed: *seed}
@@ -57,8 +60,35 @@ func main() {
 			_, tbl, err := experiments.Robustness(params)
 			return render(tbl, err)
 		},
+		"utilization": func() error {
+			u, tbl, err := experiments.Utilization(params)
+			if err != nil {
+				return err
+			}
+			fmt.Print(tbl.String())
+			fmt.Println()
+			fmt.Print(u.MigrationTimeline().String())
+			if *tracePath != "" {
+				f, err := os.Create(*tracePath)
+				if err != nil {
+					return err
+				}
+				err = u.Rec.WriteChrome(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+				if err != nil {
+					return err
+				}
+				fmt.Printf("trace: wrote %s (open in Perfetto or chrome://tracing)\n", *tracePath)
+			}
+			if *traceSummary {
+				fmt.Printf("\n%s", u.Rec.Summary())
+			}
+			return nil
+		},
 	}
-	order := []string{"table1", "fig2", "fig4", "fig5", "accuracy", "runtimeopt", "robustness"}
+	order := []string{"table1", "fig2", "fig4", "fig5", "accuracy", "runtimeopt", "robustness", "utilization"}
 
 	if *exp == "all" {
 		for _, name := range order {

@@ -8,6 +8,7 @@
 //
 //	csdsim [-read-mb N] [-write-mb N] [-calls N] [-availability F]
 //	       [-fault-rate F] [-fault-seed N] [-retry-timeout S]
+//	       [-trace out.json] [-tracesummary]
 //	csdsim -lint program.apy...   # static-analysis lint, no simulation
 package main
 
@@ -22,6 +23,7 @@ import (
 	"activego/internal/nvme"
 	"activego/internal/platform"
 	"activego/internal/sim"
+	"activego/internal/trace"
 )
 
 func main() {
@@ -33,6 +35,8 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "per-roll probability of NVMe completion drops and transient flash errors")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault plan seed (same seed + same flags = identical run)")
 	retryTimeout := flag.Float64("retry-timeout", 0.05, "host completion timer, seconds (with -fault-rate > 0)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file (open in Perfetto / chrome://tracing)")
+	traceSummary := flag.Bool("tracesummary", false, "print a per-component utilization and latency summary of the run")
 	flag.Parse()
 
 	if *lint {
@@ -42,6 +46,11 @@ func main() {
 	p := platform.Default()
 	if *avail < 1 {
 		p.Dev.SetAvailability(*avail)
+	}
+	var rec *trace.Recorder
+	if *tracePath != "" || *traceSummary {
+		rec = trace.New()
+		p.SetRecorder(rec)
 	}
 	if *faultRate > 0 {
 		p.InstallFaults(fault.NewPlan(*faultSeed,
@@ -114,6 +123,26 @@ func main() {
 			timeouts, retries, droppedC, lostC, aborted, corrected, uecc)
 	}
 	fmt.Printf("events fired: %d; simulated time: %.3f ms\n", p.Sim.EventsFired(), p.Sim.Now()*1e3)
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "csdsim:", err)
+			os.Exit(1)
+		}
+		err = rec.WriteChrome(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "csdsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: wrote %s (open in Perfetto or chrome://tracing)\n", *tracePath)
+	}
+	if *traceSummary {
+		fmt.Printf("\n%s", rec.Summary())
+	}
 }
 
 // runLint is the -lint mode: same rule catalogue and output shape as

@@ -18,6 +18,7 @@ import (
 	"activego/internal/nvme"
 	"activego/internal/sim"
 	"activego/internal/storage"
+	"activego/internal/trace"
 )
 
 // Config sets the device's compute and memory constants.
@@ -135,6 +136,10 @@ func (d *Device) dispatch(cmd nvme.Command, submitted sim.Time, complete func(nv
 		run := func() {
 			start := d.Sim.Now()
 			call(d, func(status uint16, value any) {
+				if rec := d.Sim.Recorder(); rec != nil {
+					rec.Span("csd", "csd", "call", start, d.Sim.Now(),
+						trace.Arg{Key: "status", Value: status})
+				}
 				complete(nvme.Completion{Status: status, Value: value, Started: start})
 			})
 		}
@@ -143,6 +148,9 @@ func (d *Device) dispatch(cmd nvme.Command, submitted sim.Time, complete func(nv
 		// can fire against it).
 		if dur, ok := d.faults.DecideDuration(fault.CSEStall, d.Sim.Now()); ok && dur > 0 {
 			d.stalls++
+			if rec := d.Sim.Recorder(); rec != nil {
+				rec.Instant("csd", "fault", "cse-stall", d.Sim.Now(), trace.Arg{Key: "duration", Value: dur})
+			}
 			d.Sim.AfterNamed(dur, "cse-stall", run)
 			return
 		}
@@ -162,6 +170,7 @@ func (d *Device) dispatch(cmd nvme.Command, submitted sim.Time, complete func(nv
 // command handler and DemandAt route through it, so compiled CSD code
 // learns of the demand regardless of how it arrived.
 func (d *Device) preempt() {
+	d.Sim.Recorder().Instant("csd", "exec", "preempt-demand", d.Sim.Now())
 	d.preemptRequested = true
 	fns := d.preemptFns
 	d.preemptFns = nil
@@ -198,6 +207,9 @@ func (d *Device) Reset(duration float64) {
 		panic(fmt.Sprintf("csd: negative reset duration %v", duration))
 	}
 	d.resets++
+	if rec := d.Sim.Recorder(); rec != nil {
+		rec.Instant("csd", "fault", "device-reset", d.Sim.Now(), trace.Arg{Key: "duration", Value: duration})
+	}
 	if until := d.Sim.Now() + duration; until > d.resetUntil {
 		d.resetUntil = until
 	}
@@ -243,6 +255,7 @@ func (d *Device) ScheduleStress(t sim.Time, frac float64, duration float64) {
 // (§III-C-b). The content travels in the completion stream.
 func (d *Device) SendStatus(done func(start, end sim.Time)) {
 	d.statusMsgs++
+	d.Sim.Recorder().Sample(trace.CtrCSDStatusMsgs, "messages", "csd", d.Sim.Now(), float64(d.statusMsgs))
 	d.Topo.D2H.Transfer(float64(d.Cfg.StatusBytes), done)
 }
 

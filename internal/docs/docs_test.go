@@ -1,0 +1,150 @@
+package docs
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"activego/internal/trace"
+)
+
+// Tests run with the package directory as cwd; the repo root is two up.
+const root = "../.."
+
+// mdLink matches the target of an inline Markdown link: ](target).
+var mdLink = regexp.MustCompile(`\]\(([^()\s]+)\)`)
+
+// TestMarkdownLocalLinksResolve checks that every local link in the
+// top-level Markdown files points at a path that exists. External
+// (scheme-bearing) links and pure fragments are skipped — CI has no
+// business depending on the network.
+func TestMarkdownLocalLinksResolve(t *testing.T) {
+	mds, err := filepath.Glob(filepath.Join(root, "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mds) == 0 {
+		t.Fatal("no top-level Markdown files found; wrong root?")
+	}
+	for _, md := range mds {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue // same-file fragment
+			}
+			if _, err := os.Stat(filepath.Join(filepath.Dir(md), target)); err != nil {
+				t.Errorf("%s: broken local link %q", filepath.Base(md), m[1])
+			}
+		}
+	}
+}
+
+// TestEveryInternalPackageDocumented walks internal/ and requires each
+// package (any directory holding non-test Go files) to carry a
+// "// Package <name> ..." doc comment on at least one file.
+func TestEveryInternalPackageDocumented(t *testing.T) {
+	err := filepath.WalkDir(filepath.Join(root, "internal"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		files, err := filepath.Glob(filepath.Join(path, "*.go"))
+		if err != nil {
+			return err
+		}
+		var srcs []string
+		for _, f := range files {
+			if !strings.HasSuffix(f, "_test.go") {
+				srcs = append(srcs, f)
+			}
+		}
+		if len(srcs) == 0 {
+			return nil // no package here (e.g. internal/lang is only a parent dir)
+		}
+		fset := token.NewFileSet()
+		documented := false
+		for _, f := range srcs {
+			af, perr := parser.ParseFile(fset, f, nil, parser.PackageClauseOnly|parser.ParseComments)
+			if perr != nil {
+				t.Errorf("parse %s: %v", f, perr)
+				continue
+			}
+			if af.Doc != nil && strings.HasPrefix(af.Doc.Text(), "Package ") {
+				documented = true
+			}
+		}
+		if !documented {
+			rel, _ := filepath.Rel(root, path)
+			t.Errorf("%s has no \"// Package ...\" doc comment on any file", rel)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ctrRow matches one data row of the DESIGN.md §9 counter table:
+// | `name` | unit | component | sampling point |
+var ctrRow = regexp.MustCompile("^\\|\\s*`([a-z0-9_]+(?:\\.[a-z0-9_]+)+)`\\s*\\|\\s*([^|]+?)\\s*\\|\\s*([^|]+?)\\s*\\|")
+
+// TestCounterCatalogueMatchesDesignDoc pins DESIGN.md §9's counter table
+// to trace.Catalogue(), both directions: every catalogued counter is
+// documented with the right unit and component, and every documented
+// counter exists in code.
+func TestCounterCatalogueMatchesDesignDoc(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join(root, "DESIGN.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sect, found := strings.Cut(string(data), "\n## 9.")
+	if !found {
+		t.Fatal("DESIGN.md has no §9")
+	}
+	if i := strings.Index(sect, "\n## "); i >= 0 {
+		sect = sect[:i]
+	}
+
+	type row struct{ unit, component string }
+	documented := map[string]row{}
+	for _, line := range strings.Split(sect, "\n") {
+		if m := ctrRow.FindStringSubmatch(line); m != nil {
+			documented[m[1]] = row{unit: m[2], component: m[3]}
+		}
+	}
+
+	cat := trace.Catalogue()
+	if len(documented) != len(cat) {
+		t.Errorf("DESIGN.md §9 documents %d counters, trace.Catalogue() has %d", len(documented), len(cat))
+	}
+	for _, c := range cat {
+		doc, ok := documented[c.Name]
+		if !ok {
+			t.Errorf("counter %q is in trace.Catalogue() but not in DESIGN.md §9", c.Name)
+			continue
+		}
+		if doc.unit != c.Unit {
+			t.Errorf("counter %q: DESIGN.md unit %q, code unit %q", c.Name, doc.unit, c.Unit)
+		}
+		if doc.component != c.Component {
+			t.Errorf("counter %q: DESIGN.md component %q, code component %q", c.Name, doc.component, c.Component)
+		}
+	}
+	for name := range documented {
+		if !trace.Catalogued(name) {
+			t.Errorf("counter %q is documented in DESIGN.md §9 but missing from trace.Catalogue()", name)
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"activego/internal/plan"
 	"activego/internal/platform"
 	"activego/internal/sim"
+	"activego/internal/trace"
 )
 
 // Unit is a compute location.
@@ -189,8 +190,9 @@ type executor struct {
 	doneCSDWork  float64
 	lastObserved float64
 
-	lineAttempts int    // failed attempts of the current record
-	lineRetries  uint64 // total exec-level line re-posts
+	lineAttempts int      // failed attempts of the current record
+	lineRetries  uint64   // total exec-level line re-posts
+	lineStart    sim.Time // dispatch time of the current attempt, for spans
 
 	d2hBytes0     float64
 	statusMsgs0   uint64
@@ -288,6 +290,7 @@ func (e *executor) step() {
 // dispatch runs the current record on unit, routing CSD lines through the
 // call queue when configured; failures land in failLine.
 func (e *executor) dispatch(rec *interp.LineRecord, unit Unit) {
+	e.lineStart = e.p.Sim.Now()
 	if unit == UnitCSD && e.opts.UseCallQueue {
 		// §III-C-b: the host posts the line invocation to the call queue
 		// mapped in device memory; the CSE picks it up, runs it, and the
@@ -336,6 +339,9 @@ func (e *executor) failLine(rec *interp.LineRecord, unit Unit, cause error) {
 	if e.lineAttempts < rp.LineRetries {
 		e.lineAttempts++
 		e.lineRetries++
+		if r := e.p.Sim.Recorder(); r != nil {
+			r.Instant("exec", "fault", "line-retry", e.p.Sim.Now(), trace.Arg{Key: "line", Value: rec.Line})
+		}
 		e.dispatch(rec, unit)
 		return
 	}
@@ -352,6 +358,9 @@ func (e *executor) failLine(rec *interp.LineRecord, unit Unit, cause error) {
 		e.migrated = true
 		e.res.FailoverMigrated = true
 		e.res.MigratedAt = e.p.Sim.Now()
+		if r := e.p.Sim.Recorder(); r != nil {
+			r.Instant("exec", "fault", "failover", e.p.Sim.Now(), trace.Arg{Key: "line", Value: rec.Line})
+		}
 		e.p.Sim.After(e.opts.regenOverhead(), func() { e.dispatch(rec, UnitHost) })
 		return
 	}
@@ -364,6 +373,9 @@ func (e *executor) afterRecord(rec *interp.LineRecord, unit Unit) {
 	for _, w := range rec.Writes {
 		e.varHome[w.Name] = varState{unit: unit, bytes: w.Bytes}
 	}
+	if r := e.p.Sim.Recorder(); r != nil {
+		r.Span("exec", "exec", fmt.Sprintf("L%d@%s", rec.Line, unit), e.lineStart, e.p.Sim.Now())
+	}
 	if unit == UnitCSD {
 		e.res.RecordsOnCSD++
 		e.doneCSDWork += recordWork(rec)
@@ -375,6 +387,7 @@ func (e *executor) afterRecord(rec *interp.LineRecord, unit Unit) {
 			Time: e.p.Sim.Now(),
 			Frac: frac,
 		})
+		e.p.Sim.Recorder().Sample(trace.CtrExecProgress, "fraction", "exec", e.p.Sim.Now(), frac)
 		if e.monitor() {
 			// The monitor migrated; it owns the continuation.
 			return

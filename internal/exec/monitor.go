@@ -82,5 +82,6 @@ func (e *executor) migrate(liveBytes float64) {
 	e.migrated = true
 	e.res.Migrated = true
 	e.res.MigratedAt = e.p.Sim.Now()
+	e.p.Sim.Recorder().Instant("exec", "exec", "migrate", e.p.Sim.Now())
 	e.p.Sim.After(e.opts.regenOverhead(), func() { e.advance() })
 }

@@ -24,6 +24,7 @@ import (
 	"math"
 
 	"activego/internal/sim"
+	"activego/internal/trace"
 )
 
 // Point identifies one injection point in the stack.
@@ -105,6 +106,8 @@ type Plan struct {
 
 	seq      [numPoints]uint64
 	injected [numPoints]uint64
+
+	rec *trace.Recorder // optional: receives one instant per injection
 }
 
 // NewPlan builds a plan from a seed and rules. Invalid rules panic: fault
@@ -126,6 +129,17 @@ func NewPlan(seed uint64, rules ...Rule) *Plan {
 		}
 	}
 	return &Plan{seed: seed, rules: append([]Rule(nil), rules...), fired: make([]int, len(rules))}
+}
+
+// SetRecorder attaches a trace recorder; every injected fault is then
+// recorded as an instant event on the "fault" lane, named after its
+// injection point. Recording never affects decisions — the hash stream is
+// consumed identically with or without a recorder.
+func (p *Plan) SetRecorder(r *trace.Recorder) {
+	if p == nil {
+		return
+	}
+	p.rec = r
 }
 
 // Seed returns the plan's seed.
@@ -180,6 +194,7 @@ func (p *Plan) decide(pt Point, now sim.Time) (Rule, bool) {
 		}
 		p.fired[i]++
 		p.injected[pt]++
+		p.rec.Instant("fault", "fault", pt.String(), now)
 		return r, true
 	}
 	return Rule{}, false

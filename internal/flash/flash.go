@@ -24,6 +24,7 @@ import (
 
 	"activego/internal/fault"
 	"activego/internal/sim"
+	"activego/internal/trace"
 )
 
 // ErrUncorrectable is the error a read completes with when it hits an
@@ -169,11 +170,13 @@ func (a *Array) ReadChecked(bytes int64, done func(start, end sim.Time, err erro
 	if a.faults.Decide(fault.FlashUncorrectable, a.sim.Now()) {
 		a.uecc++
 		err = ErrUncorrectable
+		a.sim.Recorder().Instant("flash", "fault", "flash-uecc", a.sim.Now())
 	} else if a.faults.Decide(fault.FlashTransient, a.sim.Now()) {
 		a.corrected++
 		penalty = a.geom.ReadLatency
+		a.sim.Recorder().Instant("flash", "fault", "flash-corrected", a.sim.Now())
 	}
-	a.op(bytes, a.geom.channelReadRate(), a.geom.ReadLatency, func(start, end sim.Time) {
+	a.op("read", bytes, a.geom.channelReadRate(), a.geom.ReadLatency, func(start, end sim.Time) {
 		if done == nil {
 			return
 		}
@@ -189,7 +192,7 @@ func (a *Array) ReadChecked(bytes int64, done func(start, end sim.Time, err erro
 func (a *Array) Program(bytes int64, done func(start, end sim.Time)) {
 	a.programs++
 	a.progBytes += float64(bytes)
-	a.op(bytes, a.geom.channelProgRate(), a.geom.ProgLatency, done)
+	a.op("program", bytes, a.geom.channelProgRate(), a.geom.ProgLatency, done)
 }
 
 // Erase schedules a block erase; it occupies one channel for tBERS.
@@ -204,14 +207,34 @@ func (a *Array) Erase(done func(start, end sim.Time)) {
 	}
 	end := start + a.geom.EraseLat
 	a.chanFree[c] = end
+	a.sampleBusy(now)
 	a.sim.At(end, func() {
+		if rec := a.sim.Recorder(); rec != nil {
+			rec.Span("flash", "flash", "erase", start, end)
+			a.sampleBusy(end)
+		}
 		if done != nil {
 			done(start, end)
 		}
 	})
 }
 
-func (a *Array) op(bytes int64, rate float64, firstLat float64, done func(start, end sim.Time)) {
+// sampleBusy records how many channels have work booked past time t.
+func (a *Array) sampleBusy(t sim.Time) {
+	rec := a.sim.Recorder()
+	if rec == nil {
+		return
+	}
+	busy := 0
+	for _, free := range a.chanFree {
+		if free > t {
+			busy++
+		}
+	}
+	rec.Sample(trace.CtrFlashBusyChannels, "channels", "flash", t, float64(busy))
+}
+
+func (a *Array) op(name string, bytes int64, rate float64, firstLat float64, done func(start, end sim.Time)) {
 	if bytes < 0 {
 		panic(fmt.Sprintf("flash: negative op size %d", bytes))
 	}
@@ -240,7 +263,12 @@ func (a *Array) op(bytes int64, rate float64, firstLat float64, done func(start,
 		}
 	}
 	a.next = (a.next + 1) % n
+	a.sampleBusy(now)
 	a.sim.At(opEnd, func() {
+		if rec := a.sim.Recorder(); rec != nil {
+			rec.Span("flash", "flash", name, opStart, opEnd, trace.Arg{Key: "bytes", Value: bytes})
+			a.sampleBusy(opEnd)
+		}
 		if done != nil {
 			done(opStart, opEnd)
 		}

@@ -10,6 +10,7 @@ import (
 	"activego/internal/interconnect"
 	"activego/internal/nvme"
 	"activego/internal/sim"
+	"activego/internal/trace"
 )
 
 // Config sets the host's compute constants.
@@ -42,25 +43,43 @@ func New(s *sim.Sim, topo *interconnect.Topology, cfg Config) *Host {
 	}
 }
 
+// traced wraps a completion callback with a host-lane span covering the
+// whole command lifetime (submit to completion landing). With no recorder
+// attached it returns done unchanged — the zero-overhead path.
+func (h *Host) traced(name string, done func(nvme.Completion)) func(nvme.Completion) {
+	rec := h.Sim.Recorder()
+	if rec == nil {
+		return done
+	}
+	submit := h.Sim.Now()
+	return func(c nvme.Completion) {
+		rec.Span("host", "host", name, submit, h.Sim.Now(),
+			trace.Arg{Key: "status", Value: c.Status})
+		if done != nil {
+			done(c)
+		}
+	}
+}
+
 // ReadObject pulls [offset, offset+bytes) of a device-resident object into
 // host DRAM: an NVMe read command through the device's queue pair. done
 // receives the completion.
 func (h *Host) ReadObject(dev *csd.Device, object string, offset, bytes int64, done func(nvme.Completion)) {
-	dev.QP.Submit(nvme.Command{Opcode: nvme.OpRead, Object: object, Offset: offset, Bytes: bytes}, done)
+	dev.QP.Submit(nvme.Command{Opcode: nvme.OpRead, Object: object, Offset: offset, Bytes: bytes}, h.traced("read-object", done))
 }
 
 // WriteObject pushes bytes into a device-resident object.
 func (h *Host) WriteObject(dev *csd.Device, object string, offset, bytes int64, done func(nvme.Completion)) {
-	dev.QP.Submit(nvme.Command{Opcode: nvme.OpWrite, Object: object, Offset: offset, Bytes: bytes}, done)
+	dev.QP.Submit(nvme.Command{Opcode: nvme.OpWrite, Object: object, Offset: offset, Bytes: bytes}, h.traced("write-object", done))
 }
 
 // Call invokes a CSD function through the call queue (§III-C-b).
 func (h *Host) Call(dev *csd.Device, fn csd.Call, done func(nvme.Completion)) {
-	dev.QP.Submit(nvme.Command{Opcode: nvme.OpCall, Payload: fn}, done)
+	dev.QP.Submit(nvme.Command{Opcode: nvme.OpCall, Payload: fn}, h.traced("call", done))
 }
 
 // Preempt asks the device to stop offloaded work at the next line
 // boundary (§III-D).
 func (h *Host) Preempt(dev *csd.Device, done func(nvme.Completion)) {
-	dev.QP.Submit(nvme.Command{Opcode: nvme.OpPreempt}, done)
+	dev.QP.Submit(nvme.Command{Opcode: nvme.OpPreempt}, h.traced("preempt", done))
 }

@@ -27,6 +27,7 @@ import (
 
 	"activego/internal/fault"
 	"activego/internal/sim"
+	"activego/internal/trace"
 )
 
 // SQE and CQE sizes in bytes, per the NVMe specification.
@@ -140,9 +141,10 @@ type QueuePair struct {
 	faults  *fault.Plan
 	retry   RetryPolicy
 
-	inFlight int
-	soft     []pending // host-side software queue when SQ is full
-	live     []*issued // device-owned commands, issue order
+	inFlight   int
+	soft       []pending // host-side software queue when SQ is full
+	live       []*issued // device-owned commands, issue order
+	cqInFlight int       // completion entries crossing back over the link
 
 	submitted uint64
 	completed uint64
@@ -224,6 +226,7 @@ func (q *QueuePair) Submit(cmd Command, done func(Completion)) {
 func (q *QueuePair) enqueue(p pending) {
 	if q.inFlight >= q.depth {
 		q.soft = append(q.soft, p)
+		q.sim.Recorder().Sample(trace.CtrNVMeSoftQueue, "commands", "nvme", q.sim.Now(), float64(len(q.soft)))
 		return
 	}
 	q.issue(p)
@@ -231,6 +234,7 @@ func (q *QueuePair) enqueue(p pending) {
 
 func (q *QueuePair) issue(p pending) {
 	q.inFlight++
+	q.sim.Recorder().Sample(trace.CtrNVMeSQDepth, "commands", "nvme", q.sim.Now(), float64(q.inFlight))
 	is := &issued{p: p}
 	q.live = append(q.live, is)
 	if q.retry.Timeout > 0 {
@@ -260,11 +264,20 @@ func (q *QueuePair) issue(p pending) {
 				c.Started = arrive
 			}
 			// CQE crossing back to the host.
+			q.cqInFlight++
+			q.sim.Recorder().Sample(trace.CtrNVMeCQInFlight, "completions", "nvme", q.sim.Now(), float64(q.cqInFlight))
 			q.link.Transfer(CQESize, func(_, landed sim.Time) {
+				q.cqInFlight--
+				q.sim.Recorder().Sample(trace.CtrNVMeCQInFlight, "completions", "nvme", landed, float64(q.cqInFlight))
 				if is.settled {
 					return // host timed out while the CQE was on the wire
 				}
 				q.settle(is)
+				if rec := q.sim.Recorder(); rec != nil {
+					rec.Span("nvme", "nvme", p.cmd.Opcode.String(), p.when, landed,
+						trace.Arg{Key: "status", Value: c.Status},
+						trace.Arg{Key: "attempt", Value: p.attempt + 1})
+				}
 				c.Completed = landed
 				q.completed++
 				if p.done != nil {
@@ -289,9 +302,11 @@ func (q *QueuePair) settle(is *issued) {
 		}
 	}
 	q.inFlight--
+	q.sim.Recorder().Sample(trace.CtrNVMeSQDepth, "commands", "nvme", q.sim.Now(), float64(q.inFlight))
 	if len(q.soft) > 0 {
 		next := q.soft[0]
 		q.soft = q.soft[1:]
+		q.sim.Recorder().Sample(trace.CtrNVMeSoftQueue, "commands", "nvme", q.sim.Now(), float64(len(q.soft)))
 		q.issue(next)
 	}
 }
@@ -303,6 +318,7 @@ func (q *QueuePair) expire(is *issued) {
 		return
 	}
 	q.timeouts++
+	q.sim.Recorder().Instant("nvme", "fault", "nvme-timeout", q.sim.Now())
 	q.fail(is, StatusTimeout)
 }
 
@@ -318,6 +334,7 @@ func (q *QueuePair) fail(is *issued, status uint16) {
 	if p.attempt+1 < q.retry.maxAttempts() {
 		p.attempt++
 		q.retries++
+		q.sim.Recorder().Instant("nvme", "fault", "nvme-retry", q.sim.Now())
 		backoff := q.retry.Backoff * float64(uint64(1)<<uint(p.attempt-1))
 		q.sim.AfterNamed(backoff, "nvme-retry", func() { q.enqueue(p) })
 		return

@@ -12,6 +12,7 @@ import (
 	"activego/internal/nvme"
 	"activego/internal/shmem"
 	"activego/internal/sim"
+	"activego/internal/trace"
 )
 
 // Config aggregates the sub-component configurations.
@@ -38,6 +39,8 @@ type Platform struct {
 	Dev   *csd.Device
 	Shmem *shmem.Space
 	Cfg   Config
+
+	faults *fault.Plan // last plan armed via InstallFaults
 }
 
 // New builds a platform with cfg.
@@ -64,8 +67,22 @@ func Default() *Platform { return New(DefaultConfig()) }
 // retry. A nil plan with a zero retry policy leaves the platform exactly
 // as built — the fault path costs nothing when disarmed.
 func (p *Platform) InstallFaults(plan *fault.Plan, retry nvme.RetryPolicy) {
+	p.faults = plan
+	plan.SetRecorder(p.Sim.Recorder())
 	p.Dev.InstallFaults(plan)
 	p.Dev.QP.SetRetryPolicy(retry)
+}
+
+// SetRecorder attaches a structured trace recorder to the whole machine:
+// the simulator (through which every resource, link, and model records)
+// and any already-armed fault plan. Pass nil to detach. Attaching a
+// recorder never changes simulated behavior — see the trace package's
+// zero-overhead contract.
+func (p *Platform) SetRecorder(r *trace.Recorder) {
+	p.Sim.SetRecorder(r)
+	if p.faults != nil {
+		p.faults.SetRecorder(r)
+	}
 }
 
 // MeasureSlowdown runs the calibration microbenchmark of §III-A: the same

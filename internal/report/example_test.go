@@ -1,0 +1,32 @@
+package report_test
+
+import (
+	"fmt"
+
+	"activego/internal/report"
+)
+
+// ExampleTable builds and renders a small results table. Note the
+// formatted float cell and that no line carries trailing whitespace.
+func ExampleTable() {
+	tbl := report.NewTable("Speedup vs baseline", "workload", "speedup")
+	tbl.AddRow("tpch-6", "1.412x")
+	tbl.AddRowf("grep", 1.173)
+	fmt.Print(tbl.String())
+	// Output:
+	// Speedup vs baseline
+	// workload  speedup
+	// --------  -------
+	// tpch-6    1.412x
+	// grep      1.173
+}
+
+// ExampleSeries renders values as ASCII bars normalized to the series
+// maximum.
+func ExampleSeries() {
+	fmt.Print(report.Series("utilization", []string{"cse", "link"}, []float64{1.0, 0.5}, 10))
+	// Output:
+	// utilization
+	// cse   ########## 1.00
+	// link  #####      0.50
+}

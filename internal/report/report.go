@@ -34,12 +34,14 @@ func (t *Table) AddRow(cells ...string) {
 }
 
 // AddRowf appends a row of formatted cells; each argument is rendered
-// with %v unless it is a float64, which renders with %.3f.
+// with %v unless it is a float64 or float32, which render with %.3f.
 func (t *Table) AddRowf(cells ...any) {
 	out := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:
+			out[i] = fmt.Sprintf("%.3f", v)
+		case float32:
 			out[i] = fmt.Sprintf("%.3f", v)
 		case string:
 			out[i] = v
@@ -68,12 +70,18 @@ func (t *Table) Render(w io.Writer) {
 		sb.WriteString(t.Title)
 		sb.WriteByte('\n')
 	}
+	// The last column is never right-padded, so no line carries trailing
+	// whitespace.
 	line := func(cells []string) {
 		for i, c := range cells {
 			if i > 0 {
 				sb.WriteString("  ")
 			}
-			sb.WriteString(pad(c, widths[i]))
+			if i == len(cells)-1 {
+				sb.WriteString(c)
+			} else {
+				sb.WriteString(pad(c, widths[i]))
+			}
 		}
 		sb.WriteByte('\n')
 	}

@@ -17,9 +17,28 @@ func TestTableRendering(t *testing.T) {
 	if len(lines) != 5 { // title, header, separator, 2 rows
 		t.Errorf("%d lines:\n%s", len(lines), out)
 	}
-	// Columns align: every data line at least as wide as the header line.
-	if len(lines[3]) < len(strings.TrimRight(lines[1], " ")) {
-		t.Errorf("misaligned:\n%s", out)
+	// Columns align: the last column starts at the same offset on every
+	// header/data line.
+	col := strings.Index(lines[1], "value")
+	for _, ln := range lines[3:] {
+		cells := strings.Fields(ln)
+		if got := strings.LastIndex(ln, cells[len(cells)-1]); got != col {
+			t.Errorf("last column at %d, want %d:\n%s", got, col, out)
+		}
+	}
+	// No line carries trailing whitespace.
+	for i, ln := range lines {
+		if ln != strings.TrimRight(ln, " ") {
+			t.Errorf("line %d has trailing whitespace: %q", i, ln)
+		}
+	}
+}
+
+func TestAddRowfFloat32(t *testing.T) {
+	tbl := NewTable("", "v")
+	tbl.AddRowf(float32(2.5))
+	if out := tbl.String(); !strings.Contains(out, "2.500") {
+		t.Errorf("float32 must render like float64:\n%s", out)
 	}
 }
 

@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"activego/internal/trace"
+)
 
 // Link models a bandwidth-limited, fixed-latency interconnect segment: the
 // host's PCIe/NVMe link to the CSD (5 GB/s in the paper's platform) or the
@@ -15,6 +19,9 @@ type Link struct {
 
 	wireFree Time // when the wire is next idle
 
+	ctrInflight   string // counter series name, precomputed
+	bytesInflight float64
+
 	totalBytes     float64
 	totalTransfers uint64
 	busyIntegral   float64
@@ -26,7 +33,8 @@ func NewLink(s *Sim, name string, bandwidth, latency float64) *Link {
 	if bandwidth <= 0 || latency < 0 {
 		panic(fmt.Sprintf("sim: link %q needs positive bandwidth, non-negative latency", name))
 	}
-	return &Link{sim: s, name: name, bandwidth: bandwidth, latency: latency}
+	return &Link{sim: s, name: name, bandwidth: bandwidth, latency: latency,
+		ctrInflight: name + ".bytes_inflight"}
 }
 
 // Name returns the link's diagnostic name.
@@ -56,7 +64,19 @@ func (l *Link) Transfer(bytes float64, done func(start, end Time)) {
 	l.totalBytes += bytes
 	l.totalTransfers++
 	l.busyIntegral += xmit
+	tracked := l.sim.rec != nil
+	if tracked {
+		l.bytesInflight += bytes
+		l.sim.rec.Sample(l.ctrInflight, "bytes", l.name, now, l.bytesInflight)
+	}
 	l.sim.At(end, func() {
+		if tracked {
+			l.bytesInflight -= bytes
+			if rec := l.sim.rec; rec != nil {
+				rec.Sample(l.ctrInflight, "bytes", l.name, end, l.bytesInflight)
+				rec.Span(l.name, "link", "xfer", start, end, trace.Arg{Key: "bytes", Value: bytes})
+			}
+		}
 		if done != nil {
 			done(start, end)
 		}

@@ -22,6 +22,11 @@ type Resource struct {
 	ratePerCore  float64 // work units per second per core at availability 1
 	availability float64
 
+	// Counter series names, precomputed so the disabled-recorder path
+	// never concatenates strings.
+	ctrBusy  string
+	ctrQueue string
+
 	busy    int
 	queue   *list.List // of *job, FIFO
 	inFly   map[*job]struct{}
@@ -55,6 +60,8 @@ func NewResource(s *Sim, name string, cores int, ratePerCore float64) *Resource 
 		cores:        cores,
 		ratePerCore:  ratePerCore,
 		availability: 1,
+		ctrBusy:      name + ".busy_cores",
+		ctrQueue:     name + ".queue_depth",
 		queue:        list.New(),
 		inFly:        make(map[*job]struct{}),
 	}
@@ -121,6 +128,7 @@ func (r *Resource) Submit(work float64, done func(start, end Time)) {
 		r.startJob(j)
 	} else {
 		r.queue.PushBack(j)
+		r.sim.rec.Sample(r.ctrQueue, "jobs", r.name, r.sim.Now(), float64(r.queue.Len()))
 	}
 }
 
@@ -165,6 +173,7 @@ func (r *Resource) startJob(j *job) {
 	j.updatedAt = j.start
 	r.inFly[j] = struct{}{}
 	r.bookCompletion(j)
+	r.sim.rec.Sample(r.ctrBusy, "cores", r.name, j.start, float64(r.busy))
 }
 
 func (r *Resource) bookCompletion(j *job) {
@@ -178,9 +187,14 @@ func (r *Resource) finishJob(j *job) {
 	r.donated += (now - j.updatedAt) * r.effectiveRate()
 	delete(r.inFly, j)
 	r.busy--
+	if rec := r.sim.rec; rec != nil {
+		rec.Span(r.name, "compute", "job", j.start, now)
+		rec.Sample(r.ctrBusy, "cores", r.name, now, float64(r.busy))
+	}
 	if front := r.queue.Front(); front != nil {
 		r.queue.Remove(front)
 		r.startJob(front.Value.(*job))
+		r.sim.rec.Sample(r.ctrQueue, "jobs", r.name, now, float64(r.queue.Len()))
 	}
 	if j.done != nil {
 		j.done(j.start, now)

@@ -16,6 +16,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"activego/internal/trace"
 )
 
 // Time is a point in simulated time, in seconds since simulation start.
@@ -85,6 +87,9 @@ type Sim struct {
 	// tracing is enabled via SetTracer.
 	tracer func(t Time, msg string)
 	fired  uint64
+	// rec, if non-nil, receives structured spans/counters from every
+	// model built on this simulator; see SetRecorder.
+	rec *trace.Recorder
 }
 
 // New returns an empty simulator positioned at time zero.
@@ -102,6 +107,20 @@ func (s *Sim) EventsFired() uint64 { return s.fired }
 // SetTracer installs fn to receive a trace line per fired event. Pass nil
 // to disable tracing.
 func (s *Sim) SetTracer(fn func(t Time, msg string)) { s.tracer = fn }
+
+// SetRecorder attaches a structured trace recorder. Every model holding
+// this simulator (resources, links, the NVMe/flash/CSD/exec stack)
+// records its spans and counters into it. Pass nil to disable — the
+// disabled state is free: recording never schedules events or perturbs
+// any model decision, so an unrecorded run is bit-identical to a
+// recorded one.
+func (s *Sim) SetRecorder(r *trace.Recorder) { s.rec = r }
+
+// Recorder returns the attached recorder (nil when disabled). A nil
+// *trace.Recorder is valid and inert, so callers may record through the
+// return value unconditionally; they should still guard allocations
+// behind Enabled.
+func (s *Sim) Recorder() *trace.Recorder { return s.rec }
 
 // At schedules fn to run at absolute simulated time t. Scheduling in the
 // past panics: it indicates a model bug, and silently reordering time

@@ -1,0 +1,79 @@
+package trace
+
+// Canonical counter series names. Every counter the instrumented stack
+// emits is listed here, and DESIGN.md §9's catalogue table is generated
+// from Catalogue below — a docs test enforces that the two never drift.
+const (
+	// CtrNVMeSQDepth is the number of device-owned commands in the NVMe
+	// hardware submission queue (<= queue depth).
+	CtrNVMeSQDepth = "nvme.sq.depth"
+	// CtrNVMeSoftQueue is the host software queue behind a full SQ.
+	CtrNVMeSoftQueue = "nvme.sq.software"
+	// CtrNVMeCQInFlight is the number of completion entries crossing
+	// back over the link (handed to the wire, not yet landed).
+	CtrNVMeCQInFlight = "nvme.cq.inflight"
+	// CtrFlashBusyChannels is the number of flash channels whose
+	// wire-free horizon lies in the future.
+	CtrFlashBusyChannels = "flash.busy_channels"
+	// CtrCSEBusyCores is the number of busy CSE cores.
+	CtrCSEBusyCores = "cse.busy_cores"
+	// CtrCSEQueue is the number of jobs queued for a CSE core.
+	CtrCSEQueue = "cse.queue_depth"
+	// CtrHostBusyCores is the number of busy host CPU cores.
+	CtrHostBusyCores = "hostcpu.busy_cores"
+	// CtrHostQueue is the number of jobs queued for a host core.
+	CtrHostQueue = "hostcpu.queue_depth"
+	// CtrD2HInFlight is the bytes handed to the external host<->CSD
+	// link and not yet landed.
+	CtrD2HInFlight = "d2h.bytes_inflight"
+	// CtrHostMemInFlight is the same quantity for the host DRAM bus.
+	CtrHostMemInFlight = "hostmem.bytes_inflight"
+	// CtrDevMemInFlight is the same quantity for the device DRAM bus.
+	CtrDevMemInFlight = "devmem.bytes_inflight"
+	// CtrCSDStatusMsgs is the cumulative count of §III-C-b status
+	// update messages the device has emitted.
+	CtrCSDStatusMsgs = "csd.status_msgs"
+	// CtrExecProgress is the fraction of CSD-assigned work completed.
+	CtrExecProgress = "exec.csd_progress"
+)
+
+// CounterInfo describes one catalogued counter series.
+type CounterInfo struct {
+	Name      string // series name (the constants above)
+	Unit      string
+	Component string // emitting component lane
+	Sampling  string // where in the model the sample is taken
+}
+
+// Catalogue returns the full counter catalogue — the source of truth
+// for DESIGN.md §9's table and for the docs test that pins docs to
+// code. Order is the documentation order.
+func Catalogue() []CounterInfo {
+	return []CounterInfo{
+		{CtrNVMeSQDepth, "commands", "nvme", "queue pair issue/settle"},
+		{CtrNVMeSoftQueue, "commands", "nvme", "software-queue push/pop"},
+		{CtrNVMeCQInFlight, "completions", "nvme", "CQE handed to / landed from the link"},
+		{CtrFlashBusyChannels, "channels", "flash", "array op issue and completion"},
+		{CtrCSEBusyCores, "cores", "cse", "job start/finish on the CSE resource"},
+		{CtrCSEQueue, "jobs", "cse", "job enqueue/dequeue on the CSE resource"},
+		{CtrHostBusyCores, "cores", "hostcpu", "job start/finish on the host CPU"},
+		{CtrHostQueue, "jobs", "hostcpu", "job enqueue/dequeue on the host CPU"},
+		{CtrD2HInFlight, "bytes", "d2h", "link transfer issue and landing"},
+		{CtrHostMemInFlight, "bytes", "hostmem", "link transfer issue and landing"},
+		{CtrDevMemInFlight, "bytes", "devmem", "link transfer issue and landing"},
+		{CtrCSDStatusMsgs, "messages", "csd", "Device.SendStatus"},
+		{CtrExecProgress, "fraction", "exec", "after each completed CSD line"},
+	}
+}
+
+// Catalogued reports whether name is a catalogued counter series.
+// Resource- and link-derived series are named <component> + a fixed
+// suffix, so the whole namespace is enumerable.
+func Catalogued(name string) bool {
+	for _, c := range Catalogue() {
+		if c.Name == name {
+			return true
+		}
+	}
+	return false
+}

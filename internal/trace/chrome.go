@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteChrome serializes the recording as Chrome trace-event JSON
+// (the "JSON object format": {"displayTimeUnit", "traceEvents"}),
+// loadable in Perfetto (ui.perfetto.dev) and chrome://tracing.
+//
+// Mapping: each component becomes a process (pid) named after itself,
+// in first-seen order; spans are complete ("X") events with ts/dur in
+// microseconds of simulated time; instants are thread-scoped "i"
+// events; counters are "C" events attached to their owning component.
+// The output is deterministic: same recording, same bytes.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[]}`+"\n")
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	pid := make(map[string]int, len(r.compOrder))
+	for i, c := range r.compOrder {
+		pid[c] = i + 1
+	}
+
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(line []byte) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteString("\n")
+		bw.Write(line)
+	}
+
+	// Process metadata: one named lane per component, sorted as seen.
+	for i, c := range r.compOrder {
+		name, _ := json.Marshal(c)
+		emit([]byte(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`, i+1, name)))
+		emit([]byte(fmt.Sprintf(`{"name":"process_sort_index","ph":"M","pid":%d,"tid":0,"args":{"sort_index":%d}}`, i+1, i)))
+	}
+	for i := range r.spans {
+		s := &r.spans[i]
+		line, err := chromeEvent(s.Name, s.Category, "X", pid[s.Component], s.Start, s.End-s.Start, true, "", s.Args)
+		if err != nil {
+			return err
+		}
+		emit(line)
+	}
+	for i := range r.instants {
+		in := &r.instants[i]
+		line, err := chromeEvent(in.Name, in.Category, "i", pid[in.Component], in.At, 0, false, "t", in.Args)
+		if err != nil {
+			return err
+		}
+		emit(line)
+	}
+	for _, s := range r.series {
+		for _, p := range s.Samples {
+			line, err := chromeEvent(s.Name, "counter", "C", pid[s.Component], p.At, 0, false, "",
+				[]Arg{{Key: "value", Value: p.Value}})
+			if err != nil {
+				return err
+			}
+			emit(line)
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// chromeEvent renders one trace event as a JSON line. ts and dur are
+// converted from simulated seconds to microseconds, the unit the trace
+// format specifies.
+func chromeEvent(name, cat, ph string, pid int, ts, dur float64, withDur bool, scope string, args []Arg) ([]byte, error) {
+	nameJ, err := json.Marshal(name)
+	if err != nil {
+		return nil, err
+	}
+	out := fmt.Sprintf(`{"name":%s`, nameJ)
+	if cat != "" {
+		catJ, _ := json.Marshal(cat)
+		out += fmt.Sprintf(`,"cat":%s`, catJ)
+	}
+	out += fmt.Sprintf(`,"ph":"%s","pid":%d,"tid":0,"ts":%s`, ph, pid, jsonFloat(ts*1e6))
+	if withDur {
+		out += fmt.Sprintf(`,"dur":%s`, jsonFloat(dur*1e6))
+	}
+	if scope != "" {
+		out += fmt.Sprintf(`,"s":"%s"`, scope)
+	}
+	if len(args) > 0 {
+		out += `,"args":{`
+		for i, a := range args {
+			keyJ, _ := json.Marshal(a.Key)
+			valJ, err := json.Marshal(a.Value)
+			if err != nil {
+				return nil, fmt.Errorf("trace: arg %q: %w", a.Key, err)
+			}
+			if i > 0 {
+				out += ","
+			}
+			out += fmt.Sprintf(`%s:%s`, keyJ, valJ)
+		}
+		out += "}"
+	}
+	out += "}"
+	return []byte(out), nil
+}
+
+// jsonFloat renders a float64 the way encoding/json does (shortest
+// round-trip form), which is deterministic for a given value.
+func jsonFloat(v float64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}

@@ -1,0 +1,220 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"activego/internal/report"
+)
+
+// ComponentStat is the occupancy of one component lane over the
+// recording window: how many spans it recorded, how long at least one
+// of them was open (busy, overlap-merged), and busy divided by the
+// window length.
+type ComponentStat struct {
+	Component   string
+	Spans       int
+	Busy        float64
+	Utilization float64
+}
+
+// ComponentStats computes per-component occupancy in first-seen
+// component order. Overlapping spans are merged before integrating, so
+// a lane running eight parallel jobs counts busy wall-time once.
+func (r *Recorder) ComponentStats() []ComponentStat {
+	if r == nil {
+		return nil
+	}
+	min, max, ok := r.Window()
+	elapsed := max - min
+	if !ok || elapsed <= 0 {
+		elapsed = 0
+	}
+	type interval struct{ lo, hi float64 }
+	byComp := make(map[string][]interval)
+	count := make(map[string]int)
+	for i := range r.spans {
+		s := &r.spans[i]
+		byComp[s.Component] = append(byComp[s.Component], interval{s.Start, s.End})
+		count[s.Component]++
+	}
+	var out []ComponentStat
+	for _, c := range r.compOrder {
+		ivs := byComp[c]
+		sort.Slice(ivs, func(i, j int) bool {
+			if ivs[i].lo != ivs[j].lo {
+				return ivs[i].lo < ivs[j].lo
+			}
+			return ivs[i].hi < ivs[j].hi
+		})
+		var busy, curLo, curHi float64
+		open := false
+		for _, iv := range ivs {
+			if !open {
+				curLo, curHi, open = iv.lo, iv.hi, true
+				continue
+			}
+			if iv.lo <= curHi {
+				if iv.hi > curHi {
+					curHi = iv.hi
+				}
+				continue
+			}
+			busy += curHi - curLo
+			curLo, curHi = iv.lo, iv.hi
+		}
+		if open {
+			busy += curHi - curLo
+		}
+		st := ComponentStat{Component: c, Spans: count[c], Busy: busy}
+		if elapsed > 0 {
+			st.Utilization = busy / elapsed
+			if st.Utilization > 1 {
+				st.Utilization = 1
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// SpanStat aggregates the latency of one (component, name) span class.
+type SpanStat struct {
+	Component string
+	Name      string
+	Count     int
+	Total     float64
+	Max       float64
+}
+
+// Mean returns the mean span duration.
+func (s SpanStat) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / float64(s.Count)
+}
+
+// SpanStats aggregates span durations by (component, name) in
+// first-seen order. For queue-fed components (the NVMe lane) a span
+// covers submission to completion, so these are queue latencies.
+func (r *Recorder) SpanStats() []SpanStat {
+	if r == nil {
+		return nil
+	}
+	index := make(map[[2]string]int)
+	var out []SpanStat
+	for i := range r.spans {
+		s := &r.spans[i]
+		key := [2]string{s.Component, s.Name}
+		j, ok := index[key]
+		if !ok {
+			j = len(out)
+			index[key] = j
+			out = append(out, SpanStat{Component: s.Component, Name: s.Name})
+		}
+		d := s.End - s.Start
+		out[j].Count++
+		out[j].Total += d
+		if d > out[j].Max {
+			out[j].Max = d
+		}
+	}
+	return out
+}
+
+// SeriesStat summarizes one counter series over the recording window.
+type SeriesStat struct {
+	Name      string
+	Unit      string
+	Component string
+	Samples   int
+	Min       float64
+	Mean      float64 // time-weighted over [first sample, window end]
+	Max       float64
+}
+
+// SeriesStats computes counter statistics in first-use order. The mean
+// is time-weighted under step semantics (a counter holds its value
+// until the next sample), integrated to the end of the recording
+// window.
+func (r *Recorder) SeriesStats() []SeriesStat {
+	if r == nil {
+		return nil
+	}
+	_, windowEnd, _ := r.Window()
+	var out []SeriesStat
+	for _, s := range r.series {
+		st := SeriesStat{Name: s.Name, Unit: s.Unit, Component: s.Component, Samples: len(s.Samples)}
+		if len(s.Samples) > 0 {
+			st.Min = s.Samples[0].Value
+			st.Max = s.Samples[0].Value
+			var integral float64
+			for i, p := range s.Samples {
+				if p.Value < st.Min {
+					st.Min = p.Value
+				}
+				if p.Value > st.Max {
+					st.Max = p.Value
+				}
+				next := windowEnd
+				if i+1 < len(s.Samples) {
+					next = s.Samples[i+1].At
+				}
+				if next > p.At {
+					integral += p.Value * (next - p.At)
+				}
+			}
+			span := windowEnd - s.Samples[0].At
+			if span > 0 {
+				st.Mean = integral / span
+			} else {
+				st.Mean = s.Samples[len(s.Samples)-1].Value
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// UtilizationTable renders ComponentStats as a report table.
+func (r *Recorder) UtilizationTable(title string) *report.Table {
+	tbl := report.NewTable(title, "component", "spans", "busy ms", "util %")
+	for _, st := range r.ComponentStats() {
+		tbl.AddRowf(st.Component, st.Spans,
+			fmt.Sprintf("%.4f", st.Busy*1e3), fmt.Sprintf("%.1f", st.Utilization*100))
+	}
+	return tbl
+}
+
+// Summary renders the whole recording as text: per-component occupancy,
+// span latency by class, and counter statistics — the -tracesummary
+// output of the CLIs.
+func (r *Recorder) Summary() string {
+	var sb strings.Builder
+	min, max, ok := r.Window()
+	if !ok {
+		return "trace: empty recording\n"
+	}
+	fmt.Fprintf(&sb, "trace window: %.4f ms (%d spans, %d instants, %d counter series)\n\n",
+		(max-min)*1e3, len(r.Spans()), len(r.Instants()), len(r.Counters()))
+	r.UtilizationTable("Per-component timeline occupancy").Render(&sb)
+
+	sb.WriteByte('\n')
+	spans := report.NewTable("Span latency by class", "component", "name", "count", "mean ms", "max ms")
+	for _, st := range r.SpanStats() {
+		spans.AddRowf(st.Component, st.Name, st.Count,
+			fmt.Sprintf("%.4f", st.Mean()*1e3), fmt.Sprintf("%.4f", st.Max*1e3))
+	}
+	spans.Render(&sb)
+
+	sb.WriteByte('\n')
+	ctrs := report.NewTable("Counter series", "counter", "unit", "component", "samples", "min", "mean", "max")
+	for _, st := range r.SeriesStats() {
+		ctrs.AddRowf(st.Name, st.Unit, st.Component, st.Samples,
+			fmt.Sprintf("%.3g", st.Min), fmt.Sprintf("%.3g", st.Mean), fmt.Sprintf("%.3g", st.Max))
+	}
+	ctrs.Render(&sb)
+	return sb.String()
+}

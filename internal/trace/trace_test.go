@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fill records a small fixed timeline: two overlapping CSE spans, one
+// NVMe span, an instant, and a counter with a coalescible sample.
+func fill(r *Recorder) {
+	r.Span("cse", "compute", "job", 0.0, 2.0)
+	r.Span("cse", "compute", "job", 1.0, 3.0)
+	r.Span("nvme", "nvme", "read", 0.5, 1.5, Arg{Key: "status", Value: 0})
+	r.Instant("exec", "exec", "migrate", 2.5)
+	r.Sample(CtrCSEBusyCores, "cores", "cse", 0.0, 1)
+	r.Sample(CtrCSEBusyCores, "cores", "cse", 1.0, 2)
+	r.Sample(CtrCSEBusyCores, "cores", "cse", 1.5, 2) // coalesced
+	r.Sample(CtrCSEBusyCores, "cores", "cse", 3.0, 0)
+}
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	r.Span("a", "b", "c", 0, 1)
+	r.Instant("a", "b", "c", 0)
+	r.Sample("x", "u", "a", 0, 1)
+	if r.Enabled() {
+		t.Error("nil recorder must report disabled")
+	}
+	if r.Spans() != nil || r.Instants() != nil || r.Counters() != nil || r.Components() != nil {
+		t.Error("nil recorder accessors must return nil")
+	}
+	if _, _, ok := r.Window(); ok {
+		t.Error("nil recorder window must be empty")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil recorder must still write valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Errorf("nil recorder wrote %d events", len(doc.TraceEvents))
+	}
+}
+
+func TestSampleCoalescing(t *testing.T) {
+	r := New()
+	fill(r)
+	ctrs := r.Counters()
+	if len(ctrs) != 1 {
+		t.Fatalf("%d series", len(ctrs))
+	}
+	if got := len(ctrs[0].Samples); got != 3 {
+		t.Errorf("consecutive equal values must coalesce: %d samples, want 3", got)
+	}
+}
+
+func TestComponentStatsMergeOverlap(t *testing.T) {
+	r := New()
+	fill(r)
+	stats := r.ComponentStats()
+	byComp := map[string]ComponentStat{}
+	for _, s := range stats {
+		byComp[s.Component] = s
+	}
+	// Two cse spans [0,2] and [1,3] overlap: busy time is 3, not 4.
+	if got := byComp["cse"].Busy; got != 3.0 {
+		t.Errorf("cse busy %v, want 3 (overlap merged)", got)
+	}
+	// Window is [0, 3]; cse is busy the whole of it.
+	if got := byComp["cse"].Utilization; got != 1.0 {
+		t.Errorf("cse utilization %v, want 1", got)
+	}
+	if got := byComp["nvme"].Busy; got != 1.0 {
+		t.Errorf("nvme busy %v, want 1", got)
+	}
+	// First-seen component order.
+	if stats[0].Component != "cse" || stats[1].Component != "nvme" {
+		t.Errorf("component order %v", []string{stats[0].Component, stats[1].Component})
+	}
+}
+
+func TestSeriesStatsTimeWeighted(t *testing.T) {
+	r := New()
+	fill(r)
+	st := r.SeriesStats()[0]
+	if st.Min != 0 || st.Max != 2 {
+		t.Errorf("min/max %v/%v", st.Min, st.Max)
+	}
+	// Step integral over [0,3]: 1*1 + 2*2 + 0*0 = 5, window 3.
+	want := 5.0 / 3.0
+	if diff := st.Mean - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("mean %v, want %v", st.Mean, want)
+	}
+}
+
+func TestWriteChromeDeterministicAndValid(t *testing.T) {
+	render := func() []byte {
+		r := New()
+		fill(r)
+		var buf bytes.Buffer
+		if err := r.WriteChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Error("same recording must serialize to identical bytes")
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, a)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q", doc.DisplayTimeUnit)
+	}
+	var spans, instants, counters, meta int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.Name == "job" && e.Dur != 2e6 {
+				t.Errorf("span dur %v us", e.Dur)
+			}
+		case "i":
+			instants++
+		case "C":
+			counters++
+		case "M":
+			meta++
+		}
+	}
+	if spans != 3 || instants != 1 || counters != 3 {
+		t.Errorf("events: %d spans, %d instants, %d counter samples", spans, instants, counters)
+	}
+	if meta != 6 { // 3 components x (process_name + process_sort_index)
+		t.Errorf("%d metadata events", meta)
+	}
+}
+
+func TestSummaryRendersAllSections(t *testing.T) {
+	r := New()
+	fill(r)
+	s := r.Summary()
+	for _, want := range []string{
+		"trace window",
+		"Per-component timeline occupancy",
+		"Span latency by class",
+		"Counter series",
+		CtrCSEBusyCores,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+	if (&Recorder{}).Summary() == "" {
+		t.Error("empty recorder summary must still return text")
+	}
+}
+
+func TestCatalogue(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Catalogue() {
+		if c.Name == "" || c.Unit == "" || c.Component == "" || c.Sampling == "" {
+			t.Errorf("incomplete catalogue entry %+v", c)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate catalogue entry %q", c.Name)
+		}
+		seen[c.Name] = true
+		if !Catalogued(c.Name) {
+			t.Errorf("Catalogued(%q) = false", c.Name)
+		}
+	}
+	if Catalogued("no.such.counter") {
+		t.Error("Catalogued must reject unknown names")
+	}
+}
