@@ -6,7 +6,8 @@
 // Usage:
 //
 //	activego -workload tpch-6 [-scalediv N] [-seed S] [-availability F] [-no-migration]
-//	         [-trace out.json] [-tracesummary]
+//	         [-trace out.json] [-tracesummary] [-metrics out.json]
+//	         [-pprof cpu.pb] [-memprofile mem.pb]
 //	activego -list
 //	activego vet program.apy...          # static analysis / lint
 //	activego vet -workloads              # lint every embedded workload
@@ -19,11 +20,11 @@ import (
 
 	"activego/internal/analysis"
 	"activego/internal/baseline"
+	"activego/internal/cliutil"
 	"activego/internal/codegen"
 	"activego/internal/core"
 	"activego/internal/platform"
 	"activego/internal/profile"
-	"activego/internal/trace"
 	"activego/internal/workloads"
 )
 
@@ -38,8 +39,7 @@ func main() {
 	avail := flag.Float64("availability", 1.0, "fraction of CSE time available (0,1]")
 	noMigration := flag.Bool("no-migration", false, "disable dynamic task migration")
 	showProfile := flag.Bool("profile", false, "print the sampling-phase curve fits per line")
-	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file (open in Perfetto / chrome://tracing)")
-	traceSummary := flag.Bool("tracesummary", false, "print a per-component utilization and latency summary of the run")
+	obs := cliutil.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -59,17 +59,19 @@ func main() {
 	params := workloads.Params{ScaleDiv: *scaleDiv, Seed: *seed}
 	inst := spec.Build(params)
 
+	if err := obs.Start(); err != nil {
+		fail(err)
+	}
 	p := platform.Default()
 	if *avail < 1 {
 		p.Dev.SetAvailability(*avail)
 	}
-	var rec *trace.Recorder
-	if *tracePath != "" || *traceSummary {
-		rec = trace.New()
+	if rec := obs.Recorder(); rec != nil {
 		p.SetRecorder(rec)
 	}
 	rt := core.New(p)
 	rt.SampleScales = profile.ScaledScales
+	rt.Metrics = obs.Registry()
 	rt.PreloadInputs(inst.Registry)
 
 	cfg := core.DefaultConfig()
@@ -100,14 +102,9 @@ func main() {
 	fmt.Printf("activepy: %.4f ms (migrated=%v, %d CSD / %d host line executions)\n",
 		out.Exec.Duration*1e3, out.Exec.Migrated, out.Exec.RecordsOnCSD, out.Exec.RecordsOnHost)
 
-	if *tracePath != "" {
-		if err := writeTrace(*tracePath, rec); err != nil {
-			fail(err)
-		}
-		fmt.Printf("trace: wrote %s (open in Perfetto or chrome://tracing)\n", *tracePath)
-	}
-	if *traceSummary {
-		fmt.Printf("\n%s", rec.Summary())
+	p.FoldMetrics(obs.Registry())
+	if err := obs.Finish(os.Stdout); err != nil {
+		fail(err)
 	}
 
 	base, err := baseline.RunHostOnly(platform.Default(), out.Trace, codegen.C)
@@ -129,19 +126,6 @@ func main() {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "activego:", err)
 	os.Exit(1)
-}
-
-// writeTrace exports rec as Chrome trace-event JSON at path.
-func writeTrace(path string, rec *trace.Recorder) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := rec.WriteChrome(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 // runVet implements `activego vet`: the static-analysis lint surface.

@@ -1,24 +1,38 @@
 // Command benchsuite regenerates the paper's evaluation: every table and
 // figure of §IV/§V, printed as text tables with the same rows the paper
-// plots.
+// plots, and optionally serialized as machine-readable benchmark
+// manifests for CI's perf-regression gate.
 //
 // Usage:
 //
 //	benchsuite [-exp all|table1|fig2|fig4|fig5|accuracy|runtimeopt|robustness|utilization]
-//	           [-scalediv N] [-seed S] [-trace out.json] [-tracesummary]
+//	           [-scalediv N] [-seed S] [-outdir DIR] [-metrics out.json]
+//	           [-httpmon addr] [-pprof cpu.pb] [-memprofile mem.pb]
+//	           [-trace out.json] [-tracesummary]
+//	benchsuite -compare old.json new.json [-tolerance 0.10]
 //
 // Inputs are synthesized at 1/scalediv of Table I's sizes (default 512,
 // ~10-18 MB per application); the shape of every result — who wins, by
 // what factor, where crossovers fall — is the reproduction target, not
 // absolute times.
+//
+// With -outdir, every experiment additionally writes BENCH_<exp>.json: a
+// schema-versioned manifest of its simulated results, planner choices,
+// metrics snapshot, and Go runtime stats (see internal/bench and
+// DESIGN.md §10). -compare diffs two manifests benchstat-style and exits
+// nonzero when a tracked value worsened past the tolerance — the CI gate.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
+	"activego/internal/bench"
+	"activego/internal/cliutil"
 	"activego/internal/experiments"
+	"activego/internal/metrics"
 	"activego/internal/workloads"
 )
 
@@ -26,97 +40,191 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: all, table1, fig2, fig4, fig5, accuracy, runtimeopt, robustness, utilization")
 	scaleDiv := flag.Int64("scalediv", 512, "divide Table I input sizes by this factor")
 	seed := flag.Int64("seed", 42, "generator seed")
-	tracePath := flag.String("trace", "", "with -exp utilization: write the traced run as Chrome trace-event JSON to this file")
-	traceSummary := flag.Bool("tracesummary", false, "with -exp utilization: print the traced run's per-component summary")
+	outDir := flag.String("outdir", "", "write one BENCH_<exp>.json benchmark manifest per experiment into this directory")
+	compare := flag.Bool("compare", false, "compare two manifests: benchsuite -compare old.json new.json; exit 1 on regression")
+	tolerance := flag.Float64("tolerance", bench.DefaultTolerance, "with -compare: allowed fractional worsening per tracked value")
+	obs := cliutil.Register(flag.CommandLine)
+	obs.RegisterMonitor(flag.CommandLine)
 	flag.Parse()
 
+	if *compare {
+		os.Exit(runCompare(flag.Args(), *tolerance))
+	}
+	if err := obs.Start(); err != nil {
+		fail(err)
+	}
+	if addr, err := obs.StartMonitor(); err != nil {
+		fail(err)
+	} else if addr != "" {
+		fmt.Printf("httpmon: serving expvar, pprof, and /metrics on http://%s\n", addr)
+	}
+	reg := obs.Registry()
+	var mopts []experiments.Option
+	if reg != nil {
+		mopts = append(mopts, experiments.WithMetrics(reg))
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fail(err)
+		}
+	}
 	params := workloads.Params{ScaleDiv: *scaleDiv, Seed: *seed}
-	runners := map[string]func() error{
-		"table1": func() error {
-			_, tbl, err := experiments.Table1(params)
-			return render(tbl, err)
-		},
-		"fig2": func() error {
-			_, tbl, err := experiments.Fig2(params)
-			return render(tbl, err)
-		},
-		"fig4": func() error {
-			_, tbl, err := experiments.Fig4(params)
-			return render(tbl, err)
-		},
-		"fig5": func() error {
-			_, tbl, err := experiments.Fig5(params)
-			return render(tbl, err)
-		},
-		"accuracy": func() error {
-			_, tbl, err := experiments.Accuracy(params)
-			return render(tbl, err)
-		},
-		"runtimeopt": func() error {
-			_, tbl, err := experiments.RuntimeOpt(params)
-			return render(tbl, err)
-		},
-		"robustness": func() error {
-			_, tbl, err := experiments.Robustness(params)
-			return render(tbl, err)
-		},
-		"utilization": func() error {
-			u, tbl, err := experiments.Utilization(params)
+	runners := map[string]func() (*bench.Manifest, error){
+		"table1": func() (*bench.Manifest, error) {
+			rows, tbl, err := experiments.Table1(params, mopts...)
 			if err != nil {
-				return err
+				return nil, err
+			}
+			fmt.Print(tbl.String())
+			return experiments.BenchTable1(rows, params), nil
+		},
+		"fig2": func() (*bench.Manifest, error) {
+			res, tbl, err := experiments.Fig2(params, mopts...)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Print(tbl.String())
+			return res.Bench(params), nil
+		},
+		"fig4": func() (*bench.Manifest, error) {
+			res, tbl, err := experiments.Fig4(params, mopts...)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Print(tbl.String())
+			return res.Bench(params), nil
+		},
+		"fig5": func() (*bench.Manifest, error) {
+			res, tbl, err := experiments.Fig5(params, mopts...)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Print(tbl.String())
+			return res.Bench(params), nil
+		},
+		"accuracy": func() (*bench.Manifest, error) {
+			res, tbl, err := experiments.Accuracy(params, mopts...)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Print(tbl.String())
+			return res.Bench(params), nil
+		},
+		"runtimeopt": func() (*bench.Manifest, error) {
+			res, tbl, err := experiments.RuntimeOpt(params, mopts...)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Print(tbl.String())
+			return res.Bench(params), nil
+		},
+		"robustness": func() (*bench.Manifest, error) {
+			res, tbl, err := experiments.Robustness(params, mopts...)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Print(tbl.String())
+			return res.Bench(params), nil
+		},
+		"utilization": func() (*bench.Manifest, error) {
+			u, tbl, err := experiments.Utilization(params, mopts...)
+			if err != nil {
+				return nil, err
 			}
 			fmt.Print(tbl.String())
 			fmt.Println()
 			fmt.Print(u.MigrationTimeline().String())
-			if *tracePath != "" {
-				f, err := os.Create(*tracePath)
+			// The trace flags apply to the study's own steady-state
+			// recorder — the run worth a timeline — not a top-level one.
+			if obs.Trace != "" {
+				f, err := os.Create(obs.Trace)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				err = u.Rec.WriteChrome(f)
 				if cerr := f.Close(); err == nil {
 					err = cerr
 				}
 				if err != nil {
-					return err
+					return nil, err
 				}
-				fmt.Printf("trace: wrote %s (open in Perfetto or chrome://tracing)\n", *tracePath)
+				fmt.Printf("trace: wrote %s (open in Perfetto or chrome://tracing)\n", obs.Trace)
 			}
-			if *traceSummary {
+			if obs.TraceSummary {
 				fmt.Printf("\n%s", u.Rec.Summary())
 			}
-			return nil
+			metrics.ObserveRecording(reg, u.Rec)
+			return u.Bench(params), nil
 		},
 	}
 	order := []string{"table1", "fig2", "fig4", "fig5", "accuracy", "runtimeopt", "robustness", "utilization"}
 
+	run := func(name string) {
+		m, err := runners[name]()
+		if err != nil {
+			fail(err)
+		}
+		if *outDir != "" {
+			if reg != nil {
+				snap := reg.Snapshot()
+				m.Metrics = &snap
+			}
+			m.CaptureRuntime()
+			path := filepath.Join(*outDir, "BENCH_"+name+".json")
+			if err := m.WriteFile(path); err != nil {
+				fail(err)
+			}
+			fmt.Printf("manifest: wrote %s\n", path)
+		}
+	}
+
 	if *exp == "all" {
 		for _, name := range order {
 			fmt.Printf("==== %s ====\n", name)
-			if err := runners[name](); err != nil {
-				fail(err)
-			}
+			run(name)
 			fmt.Println()
 		}
-		return
+	} else {
+		if _, ok := runners[*exp]; !ok {
+			fail(fmt.Errorf("unknown experiment %q (want one of %v or all)", *exp, order))
+		}
+		run(*exp)
 	}
-	run, ok := runners[*exp]
-	if !ok {
-		fail(fmt.Errorf("unknown experiment %q (want one of %v or all)", *exp, order))
-	}
-	if err := run(); err != nil {
+	if err := obs.Finish(os.Stdout); err != nil {
 		fail(err)
 	}
 }
 
-type renderer interface{ String() string }
-
-func render(tbl renderer, err error) error {
-	if err != nil {
-		return err
+// runCompare implements the CI gate: load two manifests, diff them, and
+// exit 1 when any tracked value regressed (or silently vanished), 2 on
+// usage or read errors.
+func runCompare(args []string, tolerance float64) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchsuite -compare old.json new.json [-tolerance F]")
+		return 2
 	}
-	fmt.Print(tbl.String())
-	return nil
+	old, err := bench.ReadFile(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		return 2
+	}
+	cur, err := bench.ReadFile(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		return 2
+	}
+	c, err := bench.Compare(old, cur, bench.CompareOptions{Tolerance: tolerance})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		return 2
+	}
+	fmt.Print(c.Table().String())
+	fmt.Println(c.Summary())
+	if len(c.Regressions()) > 0 {
+		return 1
+	}
+	return 0
 }
 
 func fail(err error) {

@@ -8,7 +8,8 @@
 //
 //	csdsim [-read-mb N] [-write-mb N] [-calls N] [-availability F]
 //	       [-fault-rate F] [-fault-seed N] [-retry-timeout S]
-//	       [-trace out.json] [-tracesummary]
+//	       [-trace out.json] [-tracesummary] [-metrics out.json]
+//	       [-pprof cpu.pb] [-memprofile mem.pb]
 //	csdsim -lint program.apy...   # static-analysis lint, no simulation
 package main
 
@@ -18,12 +19,12 @@ import (
 	"os"
 
 	"activego/internal/analysis"
+	"activego/internal/cliutil"
 	"activego/internal/csd"
 	"activego/internal/fault"
 	"activego/internal/nvme"
 	"activego/internal/platform"
 	"activego/internal/sim"
-	"activego/internal/trace"
 )
 
 func main() {
@@ -35,21 +36,22 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "per-roll probability of NVMe completion drops and transient flash errors")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault plan seed (same seed + same flags = identical run)")
 	retryTimeout := flag.Float64("retry-timeout", 0.05, "host completion timer, seconds (with -fault-rate > 0)")
-	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file (open in Perfetto / chrome://tracing)")
-	traceSummary := flag.Bool("tracesummary", false, "print a per-component utilization and latency summary of the run")
+	obs := cliutil.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *lint {
 		os.Exit(runLint(flag.Args()))
 	}
 
+	if err := obs.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "csdsim:", err)
+		os.Exit(1)
+	}
 	p := platform.Default()
 	if *avail < 1 {
 		p.Dev.SetAvailability(*avail)
 	}
-	var rec *trace.Recorder
-	if *tracePath != "" || *traceSummary {
-		rec = trace.New()
+	if rec := obs.Recorder(); rec != nil {
 		p.SetRecorder(rec)
 	}
 	if *faultRate > 0 {
@@ -124,24 +126,10 @@ func main() {
 	}
 	fmt.Printf("events fired: %d; simulated time: %.3f ms\n", p.Sim.EventsFired(), p.Sim.Now()*1e3)
 
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "csdsim:", err)
-			os.Exit(1)
-		}
-		err = rec.WriteChrome(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "csdsim:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("trace: wrote %s (open in Perfetto or chrome://tracing)\n", *tracePath)
-	}
-	if *traceSummary {
-		fmt.Printf("\n%s", rec.Summary())
+	p.FoldMetrics(obs.Registry())
+	if err := obs.Finish(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "csdsim:", err)
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sample() *Manifest {
+	m := NewManifest("fig4", 42, 512)
+	w := Workload{Name: "tpch-6", Planner: "optimal", PlanLines: []int{1, 2, 3}}
+	w.Add("activepy.seconds", 0.010, "s", LowerIsBetter)
+	w.Add("speedup", 1.40, "x", HigherIsBetter)
+	w.Add("gap.percent", 2.0, "%", "")
+	m.Workloads = append(m.Workloads, w)
+	return m
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := sample()
+	m.CaptureRuntime()
+	path := filepath.Join(t.TempDir(), "BENCH_fig4.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Runtime stats are wall-clock noise; everything else round-trips.
+	got.Runtime, m.Runtime = nil, nil
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("round trip mismatch:\n%+v\nvs\n%+v", got, m)
+	}
+}
+
+func TestReadRejectsWrongSchema(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"schema": 99, "experiment": "x"}`)); err == nil {
+		t.Error("schema 99 accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"experiment": "x"}`)); err == nil {
+		t.Error("missing schema accepted")
+	}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	old, cur := sample(), sample()
+	cur.Workloads[0].Values[0].Value *= 1.05 // 5% slower, inside ±10%
+	c, err := Compare(old, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(c.Regressions()); n != 0 {
+		t.Errorf("%d regressions inside tolerance:\n%s", n, c.Table())
+	}
+}
+
+func TestCompareFlagsLowerIsBetterRegression(t *testing.T) {
+	old, cur := sample(), sample()
+	cur.Workloads[0].Values[0].Value *= 1.25 // 25% slower
+	c, err := Compare(old, cur, CompareOptions{Tolerance: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := c.Regressions()
+	if len(regs) != 1 || regs[0].Name != "activepy.seconds" {
+		t.Fatalf("want exactly the duration regression, got %+v", regs)
+	}
+	if regs[0].Verdict != VerdictRegression {
+		t.Errorf("verdict %q", regs[0].Verdict)
+	}
+}
+
+func TestCompareFlagsHigherIsBetterRegression(t *testing.T) {
+	old, cur := sample(), sample()
+	cur.Workloads[0].Values[1].Value = 1.0 // speedup collapsed
+	c, err := Compare(old, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := c.Regressions()
+	if len(regs) != 1 || regs[0].Name != "speedup" {
+		t.Fatalf("want the speedup regression, got %+v", regs)
+	}
+}
+
+func TestCompareImprovementAndInfoNeverGate(t *testing.T) {
+	old, cur := sample(), sample()
+	cur.Workloads[0].Values[0].Value *= 0.5 // 2x faster
+	cur.Workloads[0].Values[2].Value = 99   // informational swing
+	c, err := Compare(old, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Regressions()) != 0 {
+		t.Errorf("improvement/info gated:\n%s", c.Table())
+	}
+	verdicts := map[string]string{}
+	for _, d := range c.Deltas {
+		verdicts[d.Name] = d.Verdict
+	}
+	if verdicts["activepy.seconds"] != VerdictImprovement {
+		t.Errorf("faster run verdict %q", verdicts["activepy.seconds"])
+	}
+	if verdicts["gap.percent"] != VerdictInfo {
+		t.Errorf("informational verdict %q", verdicts["gap.percent"])
+	}
+}
+
+func TestCompareMissingTrackedValueGates(t *testing.T) {
+	old, cur := sample(), sample()
+	cur.Workloads[0].Values = cur.Workloads[0].Values[1:] // drop the duration
+	c, err := Compare(old, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := c.Regressions()
+	if len(regs) != 1 || regs[0].Verdict != VerdictMissing {
+		t.Fatalf("silently dropped benchmark not flagged: %+v", regs)
+	}
+
+	// A whole workload vanishing gates too.
+	cur2 := sample()
+	cur2.Workloads = nil
+	c2, err := Compare(old, cur2, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.Regressions()) != 2 { // both tracked values of tpch-6
+		t.Errorf("missing workload: %d gated deltas, want 2:\n%s", len(c2.Regressions()), c2.Table())
+	}
+}
+
+func TestCompareNewValueIsInfo(t *testing.T) {
+	old, cur := sample(), sample()
+	cur.Workloads[0].Add("fresh.metric", 1, "", LowerIsBetter)
+	c, err := Compare(old, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Regressions()) != 0 {
+		t.Error("new benchmark treated as regression")
+	}
+	found := false
+	for _, d := range c.Deltas {
+		if d.Name == "fresh.metric" && d.Verdict == VerdictInfo && math.IsNaN(d.Old) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("new benchmark not surfaced as info row")
+	}
+}
+
+func TestCompareRejectsMismatchedRuns(t *testing.T) {
+	old, cur := sample(), sample()
+	cur.Experiment = "fig5"
+	if _, err := Compare(old, cur, CompareOptions{}); err == nil {
+		t.Error("cross-experiment compare accepted")
+	}
+	cur2 := sample()
+	cur2.ScaleDiv = 1024
+	if _, err := Compare(old, cur2, CompareOptions{}); err == nil {
+		t.Error("cross-scale compare accepted")
+	}
+}
+
+func TestComparisonTableRenders(t *testing.T) {
+	old, cur := sample(), sample()
+	c, err := Compare(old, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	c.Table().Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"tpch-6", "activepy.seconds", "+0.0%", "ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(c.Summary(), "0 regressions") {
+		t.Errorf("summary: %s", c.Summary())
+	}
+}

@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"activego/internal/report"
+)
+
+// Verdicts of one compared value.
+const (
+	VerdictOK          = "ok"
+	VerdictImprovement = "improvement"
+	VerdictRegression  = "regression"
+	VerdictInfo        = "info"    // untracked (no direction): never gated
+	VerdictMissing     = "missing" // tracked value absent on one side
+)
+
+// DefaultTolerance is the relative change a tracked value may move in
+// the worse direction before Compare flags a regression.
+const DefaultTolerance = 0.10
+
+// CompareOptions tunes the gate.
+type CompareOptions struct {
+	// Tolerance is the allowed fractional worsening per tracked value;
+	// zero means DefaultTolerance. (0.10 = new may be up to 10% worse.)
+	Tolerance float64
+}
+
+func (o CompareOptions) tolerance() float64 {
+	if o.Tolerance > 0 {
+		return o.Tolerance
+	}
+	return DefaultTolerance
+}
+
+// Delta is one (workload, value) pair diffed across two manifests.
+type Delta struct {
+	Workload string
+	Name     string
+	Unit     string
+	Better   string
+	Old, New float64
+	// Change is (new-old)/old; NaN when old == 0 and new != 0.
+	Change  float64
+	Verdict string
+}
+
+// Comparison is the full diff of two manifests.
+type Comparison struct {
+	Old, New  *Manifest
+	Tolerance float64
+	Deltas    []Delta
+}
+
+// Regressions returns the deltas whose verdict is regression or a
+// tracked-value mismatch (missing) — everything that should fail a gate.
+func (c *Comparison) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Verdict == VerdictRegression || d.Verdict == VerdictMissing {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Compare diffs new against old. Workloads and values match by name;
+// a tracked value present on only one side is a VerdictMissing delta
+// (the gate must notice a benchmark silently disappearing). Experiments
+// must match — comparing fig4 against fig5 is a usage error.
+func Compare(old, new *Manifest, opts CompareOptions) (*Comparison, error) {
+	if old.Experiment != new.Experiment {
+		return nil, fmt.Errorf("bench: comparing experiment %q against %q", new.Experiment, old.Experiment)
+	}
+	if old.Seed != new.Seed || old.ScaleDiv != new.ScaleDiv {
+		return nil, fmt.Errorf(
+			"bench: run parameters differ (old seed=%d scalediv=%d, new seed=%d scalediv=%d); numbers are not comparable",
+			old.Seed, old.ScaleDiv, new.Seed, new.ScaleDiv)
+	}
+	c := &Comparison{Old: old, New: new, Tolerance: opts.tolerance()}
+	for _, ow := range old.Workloads {
+		nw := new.Workload(ow.Name)
+		if nw == nil {
+			for _, ov := range ow.Values {
+				if ov.Better != "" {
+					c.Deltas = append(c.Deltas, Delta{
+						Workload: ow.Name, Name: ov.Name, Unit: ov.Unit, Better: ov.Better,
+						Old: ov.Value, New: math.NaN(), Change: math.NaN(), Verdict: VerdictMissing,
+					})
+				}
+			}
+			continue
+		}
+		for _, ov := range ow.Values {
+			d := Delta{Workload: ow.Name, Name: ov.Name, Unit: ov.Unit, Better: ov.Better, Old: ov.Value}
+			nv, ok := findValue(nw.Values, ov.Name)
+			if !ok {
+				if ov.Better == "" {
+					continue // informational value dropped: fine
+				}
+				d.New, d.Change, d.Verdict = math.NaN(), math.NaN(), VerdictMissing
+				c.Deltas = append(c.Deltas, d)
+				continue
+			}
+			d.New = nv.Value
+			d.Change = change(ov.Value, nv.Value)
+			d.Verdict = verdict(ov, nv.Value, c.Tolerance)
+			c.Deltas = append(c.Deltas, d)
+		}
+	}
+	// Tracked values that exist only in new are surfaced as info rows —
+	// a fresh benchmark is not a regression, but the reader should see it.
+	for _, nw := range new.Workloads {
+		ow := old.Workload(nw.Name)
+		for _, nv := range nw.Values {
+			if ow != nil {
+				if _, ok := findValue(ow.Values, nv.Name); ok {
+					continue
+				}
+			}
+			c.Deltas = append(c.Deltas, Delta{
+				Workload: nw.Name, Name: nv.Name, Unit: nv.Unit, Better: nv.Better,
+				Old: math.NaN(), New: nv.Value, Change: math.NaN(), Verdict: VerdictInfo,
+			})
+		}
+	}
+	return c, nil
+}
+
+func findValue(vs []Value, name string) (Value, bool) {
+	for _, v := range vs {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return Value{}, false
+}
+
+func change(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return math.NaN()
+	}
+	return (new - old) / old
+}
+
+func verdict(old Value, new, tol float64) string {
+	if old.Better == "" {
+		return VerdictInfo
+	}
+	ch := change(old.Value, new)
+	if math.IsNaN(ch) {
+		return VerdictRegression // 0 -> nonzero on a tracked value: flag it
+	}
+	worse := ch
+	if old.Better == HigherIsBetter {
+		worse = -ch
+	}
+	switch {
+	case worse > tol:
+		return VerdictRegression
+	case worse < -tol:
+		return VerdictImprovement
+	default:
+		return VerdictOK
+	}
+}
+
+// Table renders the comparison benchstat-style: one row per compared
+// value with old, new, delta, and verdict columns.
+func (c *Comparison) Table() *report.Table {
+	tbl := report.NewTable(
+		fmt.Sprintf("Benchmark comparison: %s (tolerance ±%.0f%%)", c.New.Experiment, c.Tolerance*100),
+		"workload", "metric", "old", "new", "delta", "verdict")
+	for _, d := range c.Deltas {
+		tbl.AddRow(d.Workload, d.Name, fmtVal(d.Old, d.Unit), fmtVal(d.New, d.Unit), fmtChange(d.Change), d.Verdict)
+	}
+	return tbl
+}
+
+// Summary is a one-line outcome for CLI epilogues.
+func (c *Comparison) Summary() string {
+	reg := len(c.Regressions())
+	imp := 0
+	for _, d := range c.Deltas {
+		if d.Verdict == VerdictImprovement {
+			imp++
+		}
+	}
+	return fmt.Sprintf("%d values compared: %d regressions, %d improvements (tolerance ±%.0f%%)",
+		len(c.Deltas), reg, imp, c.Tolerance*100)
+}
+
+func fmtVal(v float64, unit string) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	s := fmt.Sprintf("%.6g", v)
+	if unit != "" {
+		s += " " + unit
+	}
+	return s
+}
+
+func fmtChange(ch float64) string {
+	if math.IsNaN(ch) {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", ch*100)
+}

@@ -1,0 +1,199 @@
+// Package cliutil is the one place the commands' shared observability
+// surface is wired: the -trace/-tracesummary pair every binary grew ad
+// hoc, plus the -pprof/-memprofile/-metrics flags and the -httpmon live
+// endpoint this surface added. cmd/activego, cmd/csdsim, and
+// cmd/benchsuite all call Register once and get identical flag names,
+// help text, and output behavior; a new observability flag lands here
+// and appears in all three.
+package cliutil
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	runpprof "runtime/pprof"
+
+	"activego/internal/metrics"
+	"activego/internal/trace"
+)
+
+// Flags is the parsed shared observability surface of one command.
+type Flags struct {
+	Trace        string // -trace: Chrome trace-event JSON path
+	TraceSummary bool   // -tracesummary: per-component summary on stdout
+	CPUProfile   string // -pprof: CPU profile path
+	MemProfile   string // -memprofile: heap profile path, written on Finish
+	Metrics      string // -metrics: registry snapshot JSON path ("-" = stdout)
+	HTTPMon      string // -httpmon: live monitoring listen address (RegisterMonitor)
+
+	rec     *trace.Recorder
+	reg     *metrics.Registry
+	cpuFile *os.File
+}
+
+// Register installs the shared flags on fs and returns the handle the
+// main will read after fs.Parse.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Trace, "trace", "", "write a Chrome trace-event JSON timeline of the run to this file (open in Perfetto / chrome://tracing)")
+	fs.BoolVar(&f.TraceSummary, "tracesummary", false, "print a per-component utilization and latency summary of the run")
+	fs.StringVar(&f.CPUProfile, "pprof", "", "write a CPU profile of this process to the file (inspect with go tool pprof)")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile of this process to the file on exit")
+	fs.StringVar(&f.Metrics, "metrics", "", "write the metrics registry snapshot as JSON to this file (- for stdout)")
+	return f
+}
+
+// RegisterMonitor additionally installs -httpmon (only benchsuite keeps
+// a process alive long enough for a live endpoint to be useful).
+func (f *Flags) RegisterMonitor(fs *flag.FlagSet) {
+	fs.StringVar(&f.HTTPMon, "httpmon", "", "serve expvar, net/http/pprof, and a live /metrics snapshot on this address while running (e.g. localhost:8080)")
+}
+
+// WantTrace reports whether either trace output was requested.
+func (f *Flags) WantTrace() bool { return f.Trace != "" || f.TraceSummary }
+
+// WantMetrics reports whether a metrics registry is needed.
+func (f *Flags) WantMetrics() bool { return f.Metrics != "" || f.HTTPMon != "" }
+
+// Recorder returns the command's trace recorder, created on first call.
+// It is non-nil when tracing was requested, and also when metrics were:
+// the registry's trace bridge folds the recorder's series in, and
+// attaching a recorder never perturbs the simulation (the zero-overhead
+// contract), so -metrics implies recording. Nil otherwise.
+func (f *Flags) Recorder() *trace.Recorder {
+	if f.rec == nil && (f.WantTrace() || f.WantMetrics()) {
+		f.rec = trace.New()
+	}
+	return f.rec
+}
+
+// Registry returns the command's metrics registry, created on first
+// call when -metrics or -httpmon asked for one; nil otherwise, which
+// every instrumented layer treats as "record nothing".
+func (f *Flags) Registry() *metrics.Registry {
+	if f.reg == nil && f.WantMetrics() {
+		f.reg = metrics.New()
+	}
+	return f.reg
+}
+
+// Start begins CPU profiling if -pprof was given. Call Finish before
+// exiting on every path that reached Start.
+func (f *Flags) Start() error {
+	if f.CPUProfile == "" {
+		return nil
+	}
+	file, err := os.Create(f.CPUProfile)
+	if err != nil {
+		return err
+	}
+	if err := runpprof.StartCPUProfile(file); err != nil {
+		file.Close()
+		return err
+	}
+	f.cpuFile = file
+	return nil
+}
+
+// Finish flushes every requested output: stops the CPU profile, writes
+// the heap profile, exports the trace (file and/or summary), folds the
+// recorder into the registry, and writes the metrics snapshot. Progress
+// lines ("trace: wrote ...") go to out.
+func (f *Flags) Finish(out io.Writer) error {
+	if f.cpuFile != nil {
+		runpprof.StopCPUProfile()
+		if err := f.cpuFile.Close(); err != nil {
+			return err
+		}
+		f.cpuFile = nil
+		fmt.Fprintf(out, "pprof: wrote %s (inspect with go tool pprof)\n", f.CPUProfile)
+	}
+	if f.MemProfile != "" {
+		if err := writeHeapProfile(f.MemProfile); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "memprofile: wrote %s\n", f.MemProfile)
+	}
+	if f.rec != nil && f.Trace != "" {
+		if err := writeFileWith(f.Trace, f.rec.WriteChrome); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace: wrote %s (open in Perfetto or chrome://tracing)\n", f.Trace)
+	}
+	if f.rec != nil && f.TraceSummary {
+		fmt.Fprintf(out, "\n%s", f.rec.Summary())
+	}
+	if f.reg != nil {
+		metrics.ObserveRecording(f.reg, f.rec)
+		if f.Metrics == "-" {
+			return f.reg.Snapshot().WriteJSON(out)
+		}
+		if f.Metrics != "" {
+			snap := f.reg.Snapshot()
+			if err := writeFileWith(f.Metrics, snap.WriteJSON); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "metrics: wrote %s\n", f.Metrics)
+		}
+	}
+	return nil
+}
+
+// StartMonitor serves the live monitoring endpoint when -httpmon was
+// given: expvar under /debug/vars, the net/http/pprof suite under
+// /debug/pprof/, and the registry's current snapshot as JSON under
+// /metrics (safe to poll mid-run; the registry is mutex-guarded). It
+// returns the bound address ("" when -httpmon is off) and never blocks.
+func (f *Flags) StartMonitor() (string, error) {
+	if f.HTTPMon == "" {
+		return "", nil
+	}
+	reg := f.Registry()
+	ln, err := net.Listen("tcp", f.HTTPMon)
+	if err != nil {
+		return "", fmt.Errorf("cliutil: -httpmon %s: %w", f.HTTPMon, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		snap := reg.Snapshot()
+		_ = snap.WriteJSON(w)
+	})
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
+}
+
+func writeHeapProfile(path string) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = runpprof.Lookup("heap").WriteTo(file, 0)
+	if cerr := file.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func writeFileWith(path string, write func(io.Writer) error) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(file)
+	if cerr := file.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

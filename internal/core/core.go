@@ -30,6 +30,7 @@ import (
 	"activego/internal/lang/interp"
 	"activego/internal/lang/parser"
 	"activego/internal/lang/value"
+	"activego/internal/metrics"
 	"activego/internal/plan"
 	"activego/internal/platform"
 	"activego/internal/profile"
@@ -77,6 +78,12 @@ type Runtime struct {
 	// profile.Scales (the paper's 2^-10…2^-7). Harnesses running
 	// pre-scaled instances pass profile.ScaledScales.
 	SampleScales []float64
+	// Metrics, when set, self-instruments the pipeline: each stage's
+	// wall-clock cost lands in the registry's phase histograms and the
+	// executor folds its run counters in. Nil (the default) records
+	// nothing — runs stay bit-identical either way, because metrics only
+	// observe real time, never simulated decisions.
+	Metrics *metrics.Registry
 }
 
 // New builds a runtime on p, measuring the platform's slowdown constant C
@@ -104,11 +111,15 @@ func (rt *Runtime) Analyze(src string, reg *inputs.Registry) (*ast.Program, *pro
 // analyzeAll is Analyze plus the static-analysis report: parse, analyze,
 // sample, and plan with illegal lines masked from the planner.
 func (rt *Runtime) analyzeAll(src string, reg *inputs.Registry) (*ast.Program, *analysis.Report, *profile.Report, *plan.Result, error) {
+	stop := rt.Metrics.Phase(metrics.PhaseParse)
 	prog, err := parser.Parse(src)
+	stop()
 	if err != nil {
 		return nil, nil, nil, nil, fmt.Errorf("core: parse: %w", err)
 	}
+	stop = rt.Metrics.Phase(metrics.PhaseAnalyze)
 	static, err := analysis.Analyze(prog)
+	stop()
 	if err != nil {
 		return nil, nil, nil, nil, fmt.Errorf("core: static analysis: %w", err)
 	}
@@ -116,13 +127,15 @@ func (rt *Runtime) analyzeAll(src string, reg *inputs.Registry) (*ast.Program, *
 	if scales == nil {
 		scales = profile.Scales
 	}
-	report, err := profile.RunScales(prog, reg, scales)
+	report, err := profile.RunScalesInstrumented(prog, reg, scales, rt.Metrics)
 	if err != nil {
 		return nil, nil, nil, nil, fmt.Errorf("core: sampling phase: %w", err)
 	}
+	stop = rt.Metrics.Phase(metrics.PhasePlan)
 	estimates := plan.BuildEstimates(report.Predictions(), rt.Machine, codegen.Native)
 	cons := plan.Constraints{HostOnly: static.HostPinned()}
 	planRes := plan.Optimal(estimates, cons, rt.Machine)
+	stop()
 	return prog, static, report, planRes, nil
 }
 
@@ -156,13 +169,16 @@ func (rt *Runtime) RunWithPartition(src string, reg *inputs.Registry, part codeg
 	if err != nil {
 		return nil, err
 	}
+	stop := rt.Metrics.Phase(metrics.PhaseExecute)
 	res, err := exec.Run(rt.Plat, trace.trace, exec.Options{
 		Backend:       backend,
 		Partition:     part,
 		OverheadScale: overheadScale,
 		UseCallQueue:  !part.Empty(),
 		Analysis:      static,
+		Metrics:       rt.Metrics,
 	})
+	stop()
 	if err != nil {
 		return nil, err
 	}
@@ -175,6 +191,8 @@ type traced struct {
 }
 
 func (rt *Runtime) traceRun(prog *ast.Program, reg *inputs.Registry) (*traced, *interp.Env, error) {
+	stop := rt.Metrics.Phase(metrics.PhaseTrace)
+	defer stop()
 	ctx := reg.Context(1)
 	trace, env, err := interp.Run(prog, ctx)
 	if err != nil {
@@ -192,6 +210,7 @@ func (rt *Runtime) execute(prog *ast.Program, static *analysis.Report, report *p
 	if cfg.Migration {
 		mig = exec.DefaultMigration()
 	}
+	stop := rt.Metrics.Phase(metrics.PhaseExecute)
 	res, err := exec.Run(rt.Plat, trace.trace, exec.Options{
 		Backend:          codegen.Native,
 		Partition:        planRes.Partition,
@@ -201,7 +220,9 @@ func (rt *Runtime) execute(prog *ast.Program, static *analysis.Report, report *p
 		OverheadScale:    cfg.OverheadScale,
 		UseCallQueue:     cfg.UseCallQueue,
 		Analysis:         static,
+		Metrics:          rt.Metrics,
 	})
+	stop()
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"activego/internal/metrics"
 	"activego/internal/trace"
 )
 
@@ -145,6 +146,64 @@ func TestCounterCatalogueMatchesDesignDoc(t *testing.T) {
 	for name := range documented {
 		if !trace.Catalogued(name) {
 			t.Errorf("counter %q is documented in DESIGN.md §9 but missing from trace.Catalogue()", name)
+		}
+	}
+}
+
+// metricRow matches one data row of the DESIGN.md §10 metric table:
+// | `name` | kind | unit | recorded at |
+var metricRow = regexp.MustCompile("^\\|\\s*`([a-z0-9_]+(?:\\.[a-z0-9_]+)+)`\\s*\\|\\s*([^|]+?)\\s*\\|\\s*([^|]+?)\\s*\\|\\s*([^|]+?)\\s*\\|")
+
+// TestMetricCatalogueMatchesDesignDoc pins DESIGN.md §10's metric table
+// to metrics.Catalogue(), both directions — the §9 enforcement pattern
+// extended to the metrics layer. The scheme-generated families (trace
+// min/mean/max gauges, span histograms) are prose in the doc and
+// structural in code, so only individually-named metrics appear in the
+// table.
+func TestMetricCatalogueMatchesDesignDoc(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join(root, "DESIGN.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sect, found := strings.Cut(string(data), "\n## 10.")
+	if !found {
+		t.Fatal("DESIGN.md has no §10")
+	}
+	if i := strings.Index(sect, "\n## "); i >= 0 {
+		sect = sect[:i]
+	}
+
+	type row struct{ kind, unit, source string }
+	documented := map[string]row{}
+	for _, line := range strings.Split(sect, "\n") {
+		if m := metricRow.FindStringSubmatch(line); m != nil {
+			documented[m[1]] = row{kind: m[2], unit: m[3], source: m[4]}
+		}
+	}
+
+	cat := metrics.Catalogue()
+	if len(documented) != len(cat) {
+		t.Errorf("DESIGN.md §10 documents %d metrics, metrics.Catalogue() has %d", len(documented), len(cat))
+	}
+	for _, m := range cat {
+		doc, ok := documented[m.Name]
+		if !ok {
+			t.Errorf("metric %q is in metrics.Catalogue() but not in DESIGN.md §10", m.Name)
+			continue
+		}
+		if doc.kind != m.Kind {
+			t.Errorf("metric %q: DESIGN.md kind %q, code kind %q", m.Name, doc.kind, m.Kind)
+		}
+		if doc.unit != m.Unit {
+			t.Errorf("metric %q: DESIGN.md unit %q, code unit %q", m.Name, doc.unit, m.Unit)
+		}
+		if doc.source != m.Source {
+			t.Errorf("metric %q: DESIGN.md says %q, code says %q", m.Name, doc.source, m.Source)
+		}
+	}
+	for name := range documented {
+		if !metrics.Catalogued(name) {
+			t.Errorf("metric %q is documented in DESIGN.md §10 but missing from metrics.Catalogue()", name)
 		}
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"activego/internal/codegen"
 	"activego/internal/csd"
 	"activego/internal/lang/interp"
+	"activego/internal/metrics"
 	"activego/internal/nvme"
 	"activego/internal/plan"
 	"activego/internal/platform"
@@ -126,6 +127,11 @@ type Options struct {
 	// with a use before any definition. Nil skips the gate (traces from
 	// tests that fabricate records have no program to analyze).
 	Analysis *analysis.Report
+	// Metrics, when set, receives per-line simulated latency
+	// distributions and the run's counters (lines by unit, migrations,
+	// retries, link bytes). Observation only — a nil registry leaves the
+	// run bit-identical, and a non-nil one never feeds a decision.
+	Metrics *metrics.Registry
 }
 
 // overheadScale resolves the overhead multiplier.
@@ -272,6 +278,31 @@ func (e *executor) finish() {
 	timeouts, retries, _, _, _ := e.p.Dev.QP.FaultStats()
 	e.res.Timeouts = timeouts - e.nvmeTimeouts0
 	e.res.Retries = (retries - e.nvmeRetries0) + e.lineRetries
+	e.foldMetrics()
+}
+
+// foldMetrics folds the completed run's Result into the registry. Pure
+// observation after the simulation settled; with a nil registry every
+// call below is a no-op.
+func (e *executor) foldMetrics() {
+	m := e.opts.Metrics
+	if m == nil {
+		return
+	}
+	m.Counter(metrics.MetricExecRuns).Add(1)
+	m.Counter(metrics.MetricExecLinesCSD).Add(float64(e.res.RecordsOnCSD))
+	m.Counter(metrics.MetricExecLinesHost).Add(float64(e.res.RecordsOnHost))
+	m.Counter(metrics.MetricExecRetries).Add(float64(e.res.Retries))
+	m.Counter(metrics.MetricExecFailedCalls).Add(float64(e.res.FailedCalls))
+	m.Counter(metrics.MetricExecTimeouts).Add(float64(e.res.Timeouts))
+	m.Counter(metrics.MetricExecStatusMsgs).Add(float64(e.res.StatusMsgs))
+	m.Counter(metrics.MetricExecD2HBytes).Add(e.res.D2HBytes)
+	if e.res.Migrated {
+		m.Counter(metrics.MetricExecMigrations).Add(1)
+	}
+	if e.res.FailoverMigrated {
+		m.Counter(metrics.MetricExecFailovers).Add(1)
+	}
 }
 
 func (e *executor) step() {
@@ -375,6 +406,13 @@ func (e *executor) afterRecord(rec *interp.LineRecord, unit Unit) {
 	}
 	if r := e.p.Sim.Recorder(); r != nil {
 		r.Span("exec", "exec", fmt.Sprintf("L%d@%s", rec.Line, unit), e.lineStart, e.p.Sim.Now())
+	}
+	if m := e.opts.Metrics; m != nil {
+		name := metrics.MetricExecLineHost
+		if unit == UnitCSD {
+			name = metrics.MetricExecLineCSD
+		}
+		m.Histogram(name).Observe(e.p.Sim.Now() - e.lineStart)
 	}
 	if unit == UnitCSD {
 		e.res.RecordsOnCSD++

@@ -42,14 +42,14 @@ const minActualBytes = 4096
 // volume is the paper's headline metric because data reduction is where
 // ISP gains come from; CSR construction is the known-hard case (sparsity
 // is invisible in prefix samples).
-func Accuracy(params workloads.Params) (*AccuracyResult, *report.Table, error) {
+func Accuracy(params workloads.Params, opts ...Option) (*AccuracyResult, *report.Table, error) {
 	res := &AccuracyResult{CSRAlwaysOver: true}
 	tbl := report.NewTable("§V prediction accuracy: per-line output volume",
 		"workload", "line", "predicted", "actual", "ratio", "csr")
 	var logSum float64
 	var nNormal int
 	for _, spec := range workloads.All() {
-		wb, err := Prepare(spec, params)
+		wb, err := Prepare(spec, params, opts...)
 		if err != nil {
 			return nil, nil, err
 		}

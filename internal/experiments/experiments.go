@@ -21,11 +21,37 @@ import (
 	"activego/internal/core"
 	"activego/internal/exec"
 	"activego/internal/lang/interp"
+	"activego/internal/metrics"
 	"activego/internal/plan"
 	"activego/internal/platform"
 	"activego/internal/profile"
 	"activego/internal/workloads"
 )
+
+// Option configures a harness run. Every harness takes options
+// variadically, so existing call sites are unchanged.
+type Option func(*options)
+
+type options struct {
+	metrics *metrics.Registry
+}
+
+// WithMetrics instruments the harness with the registry: pipeline phase
+// timers, executor run counters, and the last run's platform gauges all
+// fold into reg. Metrics observe wall-clock time and completed results
+// only — simulated behavior is bit-identical with or without them
+// (TestMetricsInvariance pins this).
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(o *options) { o.metrics = reg }
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
 
 // Workbench holds everything computed once per workload and shared by
 // the experiments: the instance, its full-scale trace (real values), the
@@ -44,13 +70,19 @@ type Workbench struct {
 
 	StaticPart codegen.Partition // exhaustive programmer-directed optimum
 	StaticTime float64
+
+	// Metrics, when non-nil, receives phase timers from preparation and
+	// run counters / platform gauges from every Run* call.
+	Metrics *metrics.Registry
 }
 
 // Prepare builds the workbench for one workload.
-func Prepare(spec workloads.Spec, params workloads.Params) (*Workbench, error) {
+func Prepare(spec workloads.Spec, params workloads.Params, opts ...Option) (*Workbench, error) {
+	o := buildOptions(opts)
 	inst := spec.Build(params)
 	rt := core.New(platform.Default())
 	rt.SampleScales = profile.ScaledScales // instances are pre-scaled; see profile.ScaledScales
+	rt.Metrics = o.metrics
 	rt.PreloadInputs(inst.Registry)
 
 	prog, rep, planRes, err := rt.Analyze(inst.Source, inst.Registry)
@@ -86,6 +118,7 @@ func Prepare(spec workloads.Spec, params workloads.Params) (*Workbench, error) {
 		Baseline:   base.Duration,
 		StaticPart: part,
 		StaticTime: bestT,
+		Metrics:    o.metrics,
 	}, nil
 }
 
@@ -101,7 +134,7 @@ func (wb *Workbench) RunActivePy(migration bool, prepare func(p *platform.Platfo
 	if migration {
 		mig = exec.DefaultMigration()
 	}
-	return exec.Run(p, wb.Trace, exec.Options{
+	res, err := exec.Run(p, wb.Trace, exec.Options{
 		Backend:          codegen.Native,
 		Partition:        wb.Plan.Partition,
 		Estimates:        wb.Plan.ByLine(),
@@ -109,7 +142,10 @@ func (wb *Workbench) RunActivePy(migration bool, prepare func(p *platform.Platfo
 		SamplingOverhead: core.SamplingOverhead,
 		OverheadScale:    wb.Params.OverheadScale(),
 		UseCallQueue:     true,
+		Metrics:          wb.Metrics,
 	})
+	p.FoldMetrics(wb.Metrics)
+	return res, err
 }
 
 // RunStatic executes the programmer-directed static partition under
@@ -119,25 +155,30 @@ func (wb *Workbench) RunStatic(prepare func(p *platform.Platform)) (*exec.Result
 	if prepare != nil {
 		prepare(p)
 	}
-	return baseline.RunStatic(p, wb.Trace, wb.StaticPart, codegen.C)
+	res, err := baseline.RunStatic(p, wb.Trace, wb.StaticPart, codegen.C)
+	p.FoldMetrics(wb.Metrics)
+	return res, err
 }
 
 // RunBackend executes the trace host-only under an arbitrary backend
 // (the runtime-optimization ladder).
 func (wb *Workbench) RunBackend(b codegen.Backend) (*exec.Result, error) {
 	p := platform.Default()
-	return exec.Run(p, wb.Trace, exec.Options{
+	res, err := exec.Run(p, wb.Trace, exec.Options{
 		Backend:       b,
 		Partition:     codegen.NewPartition(),
 		OverheadScale: wb.Params.OverheadScale(),
+		Metrics:       wb.Metrics,
 	})
+	p.FoldMetrics(wb.Metrics)
+	return res, err
 }
 
 // PrepareAll prepares workbenches for the given specs.
-func PrepareAll(specs []workloads.Spec, params workloads.Params) ([]*Workbench, error) {
+func PrepareAll(specs []workloads.Spec, params workloads.Params, opts ...Option) ([]*Workbench, error) {
 	out := make([]*Workbench, 0, len(specs))
 	for _, s := range specs {
-		wb, err := Prepare(s, params)
+		wb, err := Prepare(s, params, opts...)
 		if err != nil {
 			return nil, err
 		}

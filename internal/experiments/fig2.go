@@ -57,7 +57,7 @@ func (r *Fig2Result) SpeedupAt(workload string, avail float64) float64 {
 // The paper's point: above ~1.25x at 100%, performance loss once less
 // than roughly half the CSE is available, because a static framework
 // cannot move the work back.
-func Fig2(params workloads.Params) (*Fig2Result, *report.Table, error) {
+func Fig2(params workloads.Params, opts ...Option) (*Fig2Result, *report.Table, error) {
 	res := &Fig2Result{}
 	tbl := report.NewTable("Figure 2: static C ISP speedup vs CSE availability",
 		append([]string{"workload"}, availHeaders()...)...)
@@ -66,7 +66,7 @@ func Fig2(params workloads.Params) (*Fig2Result, *report.Table, error) {
 		if !ok {
 			return nil, nil, fmt.Errorf("experiments: fig2: no workload %q", name)
 		}
-		wb, err := Prepare(spec, params)
+		wb, err := Prepare(spec, params, opts...)
 		if err != nil {
 			return nil, nil, err
 		}

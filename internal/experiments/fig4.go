@@ -16,6 +16,7 @@ type Fig4Row struct {
 	ActivePySpeedup float64 // automatic, no hints
 	PlanMatches     bool    // ActivePy picked the same line set
 	GapPercent      float64 // (static - activepy) / static * 100
+	PlanLines       []int   // the offload set ActivePy chose
 }
 
 // Fig4Result is the full comparison.
@@ -33,13 +34,13 @@ type Fig4Result struct {
 // baseline. The paper reports 1.33x vs 1.34x with ActivePy finding
 // exactly the optimal line sets; the reproduction target is that the two
 // bars track each other within a few percent on every application.
-func Fig4(params workloads.Params) (*Fig4Result, *report.Table, error) {
+func Fig4(params workloads.Params, opts ...Option) (*Fig4Result, *report.Table, error) {
 	res := &Fig4Result{}
 	tbl := report.NewTable("Figure 4: speedup vs no-ISP C baseline",
 		"workload", "baseline", "static ISP", "activepy", "plan match", "gap")
 	var sumS, sumA float64
 	for _, spec := range workloads.TableI() {
-		wb, err := Prepare(spec, params)
+		wb, err := Prepare(spec, params, opts...)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -53,6 +54,7 @@ func Fig4(params workloads.Params) (*Fig4Result, *report.Table, error) {
 			StaticSpeedup:   wb.Baseline / wb.StaticTime,
 			ActivePySpeedup: wb.Baseline / auto.Duration,
 			PlanMatches:     wb.Plan.Partition.Equal(wb.StaticPart),
+			PlanLines:       wb.Plan.Partition.Lines(),
 		}
 		row.GapPercent = 100 * (row.StaticSpeedup - row.ActivePySpeedup) / row.StaticSpeedup
 		res.Rows = append(res.Rows, row)

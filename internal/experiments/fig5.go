@@ -110,12 +110,12 @@ func progressTime(start float64, progress []exec.Progress, frac float64) float64
 // when the offloaded task reaches 50% of its progress, exactly the
 // paper's methodology — leaving 50% or 10% of the CSE available for the
 // rest of the run.
-func Fig5(params workloads.Params) (*Fig5Result, *report.Table, error) {
+func Fig5(params workloads.Params, opts ...Option) (*Fig5Result, *report.Table, error) {
 	res := &Fig5Result{}
 	tbl := report.NewTable("Figure 5: speedup vs baseline under CSE contention",
 		"workload", "avail", "w/ migration", "w/o migration", "migrated")
 	for _, spec := range workloads.All() {
-		wb, err := Prepare(spec, params)
+		wb, err := Prepare(spec, params, opts...)
 		if err != nil {
 			return nil, nil, err
 		}

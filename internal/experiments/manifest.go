@@ -1,0 +1,186 @@
+package experiments
+
+// Manifest builders: every harness result converts into a
+// machine-readable bench.Manifest so cmd/benchsuite can serialize one
+// BENCH_<exp>.json per experiment and CI can diff runs against the
+// committed baseline with `benchsuite -compare`.
+//
+// Only simulated quantities carry a gating direction (LowerIsBetter /
+// HigherIsBetter): they are deterministic for a fixed (seed, scalediv),
+// so any drift past tolerance is a real behavior change. Wall-clock and
+// shape data travel as informational values (empty direction) and never
+// gate.
+
+import (
+	"fmt"
+
+	"activego/internal/bench"
+	"activego/internal/workloads"
+)
+
+// Bench converts the Table I catalog into a manifest: sizes and region
+// counts per application. Regions are tracked — a region-count change
+// means a workload program changed underneath the benchmarks.
+func BenchTable1(rows []Table1Row, params workloads.Params) *bench.Manifest {
+	m := bench.NewManifest("table1", params.Seed, params.ScaleDiv)
+	for _, r := range rows {
+		w := bench.Workload{Name: r.Name}
+		w.Add("regions", float64(r.Regions), "lines", bench.LowerIsBetter)
+		w.Add("scaled.bytes", float64(r.ScaledBytes), "B", "")
+		w.Add("paper.bytes", float64(r.PaperBytes), "B", "")
+		m.Workloads = append(m.Workloads, w)
+	}
+	return m
+}
+
+// Bench converts the Figure 2 availability sweep: one tracked speedup
+// value per swept availability, plus the crossover point.
+func (r *Fig2Result) Bench(params workloads.Params) *bench.Manifest {
+	m := bench.NewManifest("fig2", params.Seed, params.ScaleDiv)
+	for _, name := range Fig2Workloads {
+		w := bench.Workload{Name: name, Planner: "static-exhaustive"}
+		for _, a := range Fig2Availabilities {
+			w.Add(fmt.Sprintf("speedup@%.0f%%", a*100), r.SpeedupAt(name, a), "x", bench.HigherIsBetter)
+		}
+		w.Add("crossover.availability", r.Crossover(name), "", "")
+		m.Workloads = append(m.Workloads, w)
+	}
+	return m
+}
+
+// Bench converts the Figure 4 comparison: per workload the baseline
+// time and both speedups are tracked; the gap and plan match ride as
+// info. The ActivePy offload set is recorded as the planner choice.
+func (r *Fig4Result) Bench(params workloads.Params) *bench.Manifest {
+	m := bench.NewManifest("fig4", params.Seed, params.ScaleDiv)
+	for _, row := range r.Rows {
+		w := bench.Workload{Name: row.Workload, Planner: "activepy-optimal", PlanLines: row.PlanLines}
+		w.Add("baseline.seconds", row.BaselineTime, "s", bench.LowerIsBetter)
+		w.Add("static.speedup", row.StaticSpeedup, "x", bench.HigherIsBetter)
+		w.Add("activepy.speedup", row.ActivePySpeedup, "x", bench.HigherIsBetter)
+		w.Add("gap.percent", row.GapPercent, "%", "")
+		w.Add("plan.match", boolVal(row.PlanMatches), "", "")
+		m.Workloads = append(m.Workloads, w)
+	}
+	agg := bench.Workload{Name: "MEAN"}
+	agg.Add("static.speedup", r.MeanStatic, "x", bench.HigherIsBetter)
+	agg.Add("activepy.speedup", r.MeanActivePy, "x", bench.HigherIsBetter)
+	agg.Add("plan.matches", float64(r.Matches), "", "")
+	m.Workloads = append(m.Workloads, agg)
+	return m
+}
+
+// Bench converts the Figure 5 migration study: the with-migration
+// speedup is tracked per (workload, availability); the without-migration
+// number is the deliberately bad arm and rides as info, as does whether
+// the monitor fired.
+func (r *Fig5Result) Bench(params workloads.Params) *bench.Manifest {
+	m := bench.NewManifest("fig5", params.Seed, params.ScaleDiv)
+	byName := map[string]*bench.Workload{}
+	var order []string
+	for _, row := range r.Rows {
+		w := byName[row.Workload]
+		if w == nil {
+			w = &bench.Workload{Name: row.Workload, Planner: "activepy-optimal"}
+			byName[row.Workload] = w
+			order = append(order, row.Workload)
+		}
+		at := fmt.Sprintf("@%.0f%%", row.Availability*100)
+		w.Add("speedup.migration"+at, row.WithMigration, "x", bench.HigherIsBetter)
+		w.Add("speedup.static"+at, row.WithoutMigration, "x", "")
+		w.Add("migrated"+at, boolVal(row.Migrated), "", "")
+	}
+	for _, name := range order {
+		m.Workloads = append(m.Workloads, *byName[name])
+	}
+	agg := bench.Workload{Name: "SUMMARY"}
+	for _, a := range Fig5Availabilities {
+		at := fmt.Sprintf("@%.0f%%", a*100)
+		agg.Add("migration.advantage"+at, r.MigrationAdvantage(a), "x", bench.HigherIsBetter)
+		mean, max := r.LossWithoutMigration(a)
+		agg.Add("loss.mean"+at, mean, "", "")
+		agg.Add("loss.max"+at, max, "", "")
+	}
+	m.Workloads = append(m.Workloads, agg)
+	return m
+}
+
+// Bench converts the prediction-accuracy study into its summary
+// numbers; the per-line table stays in the text/JSON table output.
+func (r *AccuracyResult) Bench(params workloads.Params) *bench.Manifest {
+	m := bench.NewManifest("accuracy", params.Seed, params.ScaleDiv)
+	w := bench.Workload{Name: "SUMMARY"}
+	w.Add("geomean.error", r.GeoMeanError, "", bench.LowerIsBetter)
+	w.Add("max.csr.overestimate", r.MaxCSROverestimate, "x", "")
+	w.Add("csr.always.over", boolVal(r.CSRAlwaysOver), "", "")
+	w.Add("lines.measured", float64(len(r.Lines)), "", "")
+	m.Workloads = append(m.Workloads, w)
+	return m
+}
+
+// Bench converts the runtime-optimization ladder: all three slowdowns
+// are tracked per workload — they are pure simulated ratios.
+func (r *RuntimeOptResult) Bench(params workloads.Params) *bench.Manifest {
+	m := bench.NewManifest("runtimeopt", params.Seed, params.ScaleDiv)
+	for _, row := range r.Rows {
+		w := bench.Workload{Name: row.Workload}
+		w.Add("interpreted.slowdown", row.Interpreted, "", bench.LowerIsBetter)
+		w.Add("cython.slowdown", row.Cython, "", bench.LowerIsBetter)
+		w.Add("native.slowdown", row.Native, "", bench.LowerIsBetter)
+		m.Workloads = append(m.Workloads, w)
+	}
+	agg := bench.Workload{Name: "MEAN"}
+	agg.Add("interpreted.slowdown", r.MeanInterp, "", bench.LowerIsBetter)
+	agg.Add("cython.slowdown", r.MeanCython, "", bench.LowerIsBetter)
+	agg.Add("native.slowdown", r.MeanNative, "", bench.LowerIsBetter)
+	m.Workloads = append(m.Workloads, agg)
+	return m
+}
+
+// Bench converts the robustness sweep: duration and completion are
+// tracked per (workload, rate) — completion collapsing from 1 to 0 is
+// exactly the kind of regression the gate exists for. Recovery counters
+// ride as info.
+func (r *RobustnessResult) Bench(params workloads.Params) *bench.Manifest {
+	m := bench.NewManifest("robustness", params.Seed, params.ScaleDiv)
+	byName := map[string]*bench.Workload{}
+	var order []string
+	for _, row := range r.Rows {
+		w := byName[row.Workload]
+		if w == nil {
+			w = &bench.Workload{Name: row.Workload, Planner: "activepy-optimal"}
+			byName[row.Workload] = w
+			order = append(order, row.Workload)
+		}
+		at := fmt.Sprintf("@%.2f", row.Rate)
+		w.Add("duration.seconds"+at, row.Duration, "s", bench.LowerIsBetter)
+		w.Add("completed"+at, boolVal(row.Completed), "", bench.HigherIsBetter)
+		w.Add("retries"+at, float64(row.Retries), "", "")
+		w.Add("timeouts"+at, float64(row.Timeouts), "", "")
+		w.Add("failed.calls"+at, float64(row.FailedCalls), "", "")
+	}
+	for _, name := range order {
+		m.Workloads = append(m.Workloads, *byName[name])
+	}
+	return m
+}
+
+// Bench converts the utilization study: both traced runs' durations are
+// tracked, and the stressed run must keep migrating.
+func (u *UtilizationResult) Bench(params workloads.Params) *bench.Manifest {
+	m := bench.NewManifest("utilization", params.Seed, params.ScaleDiv)
+	w := bench.Workload{Name: u.Workload, Planner: "activepy-optimal"}
+	w.Add("steady.seconds", u.Res.Duration, "s", bench.LowerIsBetter)
+	w.Add("stressed.seconds", u.StressRes.Duration, "s", bench.LowerIsBetter)
+	w.Add("migrated", boolVal(u.StressRes.Migrated), "", bench.HigherIsBetter)
+	w.Add("stress.at.seconds", u.StressAt, "s", "")
+	m.Workloads = append(m.Workloads, w)
+	return m
+}
+
+func boolVal(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -116,7 +116,7 @@ func (wb *Workbench) adaptiveRetry() nvme.RetryPolicy {
 func (wb *Workbench) RunRobust(plan *fault.Plan) (*exec.Result, error) {
 	p := platform.Default()
 	p.InstallFaults(plan, wb.adaptiveRetry())
-	return exec.Run(p, wb.Trace, exec.Options{
+	res, err := exec.Run(p, wb.Trace, exec.Options{
 		Backend:          codegen.Native,
 		Partition:        wb.Plan.Partition,
 		Estimates:        wb.Plan.ByLine(),
@@ -124,7 +124,10 @@ func (wb *Workbench) RunRobust(plan *fault.Plan) (*exec.Result, error) {
 		OverheadScale:    wb.Params.OverheadScale(),
 		UseCallQueue:     true,
 		Recovery:         exec.DefaultRecovery(),
+		Metrics:          wb.Metrics,
 	})
+	p.FoldMetrics(wb.Metrics)
+	return res, err
 }
 
 // Robustness sweeps fault intensity against the TPC-H workloads: each
@@ -132,7 +135,7 @@ func (wb *Workbench) RunRobust(plan *fault.Plan) (*exec.Result, error) {
 // platform and reports how much recovery cost and whether the program
 // still finished. The zero-rate column doubles as the cost-free-when-idle
 // check: its durations must equal the clean runs bit-for-bit.
-func Robustness(params workloads.Params) (*RobustnessResult, *report.Table, error) {
+func Robustness(params workloads.Params, opts ...Option) (*RobustnessResult, *report.Table, error) {
 	res := &RobustnessResult{}
 	tbl := report.NewTable("Robustness: recovery under injected faults",
 		"workload", "rate", "duration", "overhead", "failed calls", "retries", "timeouts", "failed over", "completed")
@@ -141,7 +144,7 @@ func Robustness(params workloads.Params) (*RobustnessResult, *report.Table, erro
 		if !ok {
 			return nil, nil, fmt.Errorf("experiments: robustness: no workload %q", name)
 		}
-		wb, err := Prepare(spec, params)
+		wb, err := Prepare(spec, params, opts...)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -30,13 +30,13 @@ type RuntimeOptResult struct {
 // redundant-memcopy elimination. The paper's ladder is 41% → 20% → ≈0%
 // (+1% compile overhead) slower than hand-written C; the reproduction
 // target is that ordering and rough spacing.
-func RuntimeOpt(params workloads.Params) (*RuntimeOptResult, *report.Table, error) {
+func RuntimeOpt(params workloads.Params, opts ...Option) (*RuntimeOptResult, *report.Table, error) {
 	res := &RuntimeOptResult{}
 	tbl := report.NewTable("§V runtime optimization ladder: slowdown vs C baseline (host only)",
 		"workload", "interpreted", "cython", "activepy-native")
 	var si, sc, sn float64
 	for _, spec := range workloads.TableI() {
-		wb, err := Prepare(spec, params)
+		wb, err := Prepare(spec, params, opts...)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -20,7 +20,7 @@ type Table1Row struct {
 // Table1 regenerates the paper's Table I: the application catalog with
 // input data sizes and their single-entry-single-exit code regions, plus
 // the scaled sizes this reproduction actually runs.
-func Table1(params workloads.Params) ([]Table1Row, *report.Table, error) {
+func Table1(params workloads.Params, opts ...Option) ([]Table1Row, *report.Table, error) {
 	tbl := report.NewTable("Table I: applications, input sizes, SESE code regions",
 		"name", "paper size", "scaled size", "regions", "description")
 	var rows []Table1Row

@@ -66,12 +66,12 @@ func (u *UtilizationResult) MigrationTimeline() *report.Table {
 // one traced Figure 5-style stressed run with migration. The returned
 // table is the steady-state per-component occupancy; the recorders in
 // the result carry the full timelines for Chrome export or summaries.
-func Utilization(params workloads.Params) (*UtilizationResult, *report.Table, error) {
+func Utilization(params workloads.Params, opts ...Option) (*UtilizationResult, *report.Table, error) {
 	spec, ok := workloads.ByName(UtilizationWorkload)
 	if !ok {
 		return nil, nil, fmt.Errorf("experiments: utilization: unknown workload %q", UtilizationWorkload)
 	}
-	wb, err := Prepare(spec, params)
+	wb, err := Prepare(spec, params, opts...)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,41 @@
+package metrics
+
+import "activego/internal/trace"
+
+// Suffixes of the gauges ObserveRecording derives from each catalogued
+// trace counter series (time-weighted statistics under the series' step
+// semantics, computed by trace.SeriesStats).
+const (
+	TraceMin  = ".min"
+	TraceMean = ".mean"
+	TraceMax  = ".max"
+)
+
+// SpanPrefix and SpanSuffix frame the per-component span-latency
+// histograms ObserveRecording emits: span.<component>.seconds, with one
+// observation per recorded span. These are simulated latencies —
+// distributions, not just sums, which is what the fixed-width summary
+// tables could never carry.
+const (
+	SpanPrefix = "span."
+	SpanSuffix = ".seconds"
+)
+
+// ObserveRecording folds one trace recording into the registry: every
+// catalogued counter series becomes three gauges (<name>.min/.mean/.max,
+// time-weighted over the recording window) and every span lands in its
+// component's latency histogram. A nil registry or nil recorder is a
+// no-op. The recording is read-only; folding never mutates it.
+func ObserveRecording(r *Registry, rec *trace.Recorder) {
+	if r == nil || rec == nil {
+		return
+	}
+	for _, st := range rec.SeriesStats() {
+		r.Gauge(st.Name + TraceMin).Set(st.Min)
+		r.Gauge(st.Name + TraceMean).Set(st.Mean)
+		r.Gauge(st.Name + TraceMax).Set(st.Max)
+	}
+	for _, sp := range rec.Spans() {
+		r.Histogram(SpanPrefix + sp.Component + SpanSuffix).Observe(sp.End - sp.Start)
+	}
+}

@@ -1,0 +1,257 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"activego/internal/trace"
+)
+
+// TestNilRegistryIsInert: every method on a nil registry and on the nil
+// instruments it hands out must be a safe no-op — the zero-overhead
+// contract's API half.
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Error("nil registry claims enabled")
+	}
+	r.Counter("c").Add(1)
+	r.Gauge("g").Set(2)
+	r.Histogram("h").Observe(3)
+	r.Phase("phase.parse.seconds")()
+	ObserveRecording(r, trace.New())
+	ObserveRecording(New(), nil)
+	if v := r.Counter("c").Value(); v != 0 {
+		t.Errorf("nil counter value %v", v)
+	}
+	if v := r.Gauge("g").Value(); v != 0 {
+		t.Errorf("nil gauge value %v", v)
+	}
+	if n := r.Histogram("h").Count(); n != 0 {
+		t.Errorf("nil histogram count %v", n)
+	}
+	if q := r.Histogram("h").Quantile(0.5); q != 0 {
+		t.Errorf("nil histogram quantile %v", q)
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Errorf("nil snapshot not empty: %+v", s)
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	r.Counter("x").Add(2)
+	r.Counter("x").Add(3)
+	if v := r.Counter("x").Value(); v != 5 {
+		t.Errorf("counter %v, want 5", v)
+	}
+	r.Gauge("y").Set(7)
+	r.Gauge("y").Set(1.5)
+	if v := r.Gauge("y").Value(); v != 1.5 {
+		t.Errorf("gauge %v, want 1.5", v)
+	}
+}
+
+// TestHistogramBuckets pins the log-2 bucket layout: a value lands in
+// the smallest bucket whose upper bound is >= it, non-positive values in
+// the underflow bucket.
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v  float64
+		ub float64
+	}{
+		{1e-9, math.Pow(2, -29)},
+		{0.5, 0.5},
+		{0.75, 1},
+		{1, 1},
+		{1.5, 2},
+		{1024, 1024},
+		{-3, 0},
+		{0, 0},
+	}
+	for _, c := range cases {
+		if got := upperBound(bucketOf(c.v)); got != c.ub {
+			t.Errorf("bucketOf(%v): upper bound %v, want %v", c.v, got, c.ub)
+		}
+	}
+}
+
+func TestHistogramStatsAndQuantiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat")
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Errorf("count %d", h.Count())
+	}
+	if h.Sum() != 5050 {
+		t.Errorf("sum %v", h.Sum())
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Errorf("q0 %v, want exact min 1", q)
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Errorf("q1 %v, want exact max 100", q)
+	}
+	// The median of 1..100 is ~50; the log-2 estimate may overshoot by at
+	// most its bucket width (one power of two).
+	if q := h.Quantile(0.5); q < 50 || q > 128 {
+		t.Errorf("q50 %v outside [50,128]", q)
+	}
+}
+
+// TestSnapshotDeterministic: snapshots sort by name and marshal to
+// identical JSON regardless of registration order.
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func(names []string) []byte {
+		r := New()
+		for i, n := range names {
+			r.Counter("ctr." + n).Add(float64(i + 1))
+			r.Gauge("g." + n).Set(float64(i))
+			r.Histogram("h." + n).Observe(float64(i + 1))
+		}
+		// Same totals regardless of order: make values order-independent.
+		var buf bytes.Buffer
+		snap := r.Snapshot()
+		// zero the order-dependent values, keeping only names/structure
+		for i := range snap.Counters {
+			snap.Counters[i].Value = 0
+		}
+		for i := range snap.Gauges {
+			snap.Gauges[i].Value = 0
+		}
+		for i := range snap.Histograms {
+			snap.Histograms[i].Sum, snap.Histograms[i].Min, snap.Histograms[i].Max = 0, 0, 0
+			snap.Histograms[i].Buckets = nil
+		}
+		if err := snap.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := build([]string{"a", "b", "c"})
+	b := build([]string{"c", "a", "b"})
+	if !bytes.Equal(a, b) {
+		t.Errorf("snapshot order-dependent:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestSnapshotRoundTripsJSON(t *testing.T) {
+	r := New()
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(-1)
+	r.Histogram("h").Observe(0.25)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r.Snapshot()) {
+		t.Errorf("round trip mismatch:\n%+v\nvs\n%+v", got, r.Snapshot())
+	}
+}
+
+// TestConcurrentUse: a registry is snapshotted by -httpmon while the
+// sweep records into it; the race detector patrols this test.
+func TestConcurrentUse(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Counter("c").Add(1)
+				r.Gauge("g").Set(float64(j))
+				r.Histogram("h").Observe(float64(j))
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("c").Value(); v != 800 {
+		t.Errorf("counter %v, want 800", v)
+	}
+}
+
+// TestObserveRecording folds a hand-built recording and checks the three
+// derived gauges and the span latency histogram.
+func TestObserveRecording(t *testing.T) {
+	rec := trace.New()
+	rec.Span("cse", "sim", "job", 0, 1)
+	rec.Span("cse", "sim", "job", 1, 3)
+	rec.Sample(trace.CtrCSEBusyCores, "cores", "cse", 0, 1)
+	rec.Sample(trace.CtrCSEBusyCores, "cores", "cse", 2, 3)
+
+	r := New()
+	ObserveRecording(r, rec)
+
+	if v := r.Gauge(trace.CtrCSEBusyCores + TraceMax).Value(); v != 3 {
+		t.Errorf("max gauge %v, want 3", v)
+	}
+	if v := r.Gauge(trace.CtrCSEBusyCores + TraceMin).Value(); v != 1 {
+		t.Errorf("min gauge %v, want 1", v)
+	}
+	// Step semantics over window [0,3]: value 1 for 2s, 3 for 1s.
+	if v := r.Gauge(trace.CtrCSEBusyCores + TraceMean).Value(); math.Abs(v-5.0/3) > 1e-12 {
+		t.Errorf("mean gauge %v, want 5/3", v)
+	}
+	h := r.Histogram(SpanPrefix + "cse" + SpanSuffix)
+	if h.Count() != 2 || h.Sum() != 3 {
+		t.Errorf("span histogram count=%d sum=%v, want 2/3", h.Count(), h.Sum())
+	}
+}
+
+// TestCatalogued pins the namespace: static entries, trace-derived
+// gauges, and span histograms are catalogued; junk is not.
+func TestCatalogued(t *testing.T) {
+	for _, m := range Catalogue() {
+		if !Catalogued(m.Name) {
+			t.Errorf("catalogue entry %q not Catalogued", m.Name)
+		}
+		switch m.Kind {
+		case KindCounter, KindGauge, KindHistogram:
+		default:
+			t.Errorf("%q: unknown kind %q", m.Name, m.Kind)
+		}
+	}
+	for _, c := range trace.Catalogue() {
+		for _, suf := range []string{TraceMin, TraceMean, TraceMax} {
+			if !Catalogued(c.Name + suf) {
+				t.Errorf("trace-derived gauge %q not Catalogued", c.Name+suf)
+			}
+		}
+	}
+	for _, name := range []string{"span.cse.seconds", "span.exec.seconds", "span.d2h.seconds"} {
+		if !Catalogued(name) {
+			t.Errorf("span histogram %q not Catalogued", name)
+		}
+	}
+	for _, name := range []string{"bogus", "span..seconds", "span.a.b.seconds", "nvme.sq.depth", "nvme.sq.depth.median"} {
+		if Catalogued(name) {
+			t.Errorf("%q should not be Catalogued", name)
+		}
+	}
+}
+
+func TestPhaseTimer(t *testing.T) {
+	r := New()
+	stop := r.Phase(PhaseParse)
+	stop()
+	h := r.Histogram(PhaseParse)
+	if h.Count() != 1 {
+		t.Errorf("phase observations %d, want 1", h.Count())
+	}
+	if h.Sum() < 0 {
+		t.Errorf("negative phase duration %v", h.Sum())
+	}
+}

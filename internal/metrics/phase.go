@@ -1,0 +1,44 @@
+package metrics
+
+import "time"
+
+// Phase names the framework self-instruments: the real (wall-clock) cost
+// of each pipeline stage, as distinct from the simulated time the stage
+// models. Histograms because one registry typically accumulates many
+// workloads' worth of pipeline runs (a benchsuite sweep).
+const (
+	// PhaseParse is mini-language parsing.
+	PhaseParse = "phase.parse.seconds"
+	// PhaseAnalyze is static dependence/legality analysis.
+	PhaseAnalyze = "phase.analyze.seconds"
+	// PhaseSample is the §III-A sampling phase: the scaled-input
+	// interpreter runs that produce per-line measurements.
+	PhaseSample = "phase.sample.seconds"
+	// PhaseFit is §III-A curve fitting: regressing complexity models
+	// over the sampled points.
+	PhaseFit = "phase.fit.seconds"
+	// PhasePlan is §III-B planning: pricing lines and choosing the
+	// offload set.
+	PhasePlan = "phase.plan.seconds"
+	// PhaseTrace is the full-scale interpreter run that produces the
+	// value-level trace the executor replays. (§III-C codegen has no
+	// host-side cost in this reproduction: its overhead is charged in
+	// simulated time by the executor.)
+	PhaseTrace = "phase.trace.seconds"
+	// PhaseExecute is the simulated replay — the real cost of running
+	// the discrete-event simulator, not the simulated duration.
+	PhaseExecute = "phase.execute.seconds"
+)
+
+// Phase starts timing the named phase and returns a stop function that
+// observes the elapsed wall-clock seconds into the phase's histogram.
+// On a nil registry the returned function is a no-op (and no clock is
+// read), preserving the zero-overhead contract.
+func (r *Registry) Phase(name string) func() {
+	if r == nil {
+		return func() {}
+	}
+	h := r.Histogram(name)
+	start := time.Now()
+	return func() { h.Observe(time.Since(start).Seconds()) }
+}

@@ -9,6 +9,7 @@ import (
 	"activego/internal/fault"
 	"activego/internal/host"
 	"activego/internal/interconnect"
+	"activego/internal/metrics"
 	"activego/internal/nvme"
 	"activego/internal/shmem"
 	"activego/internal/sim"
@@ -83,6 +84,33 @@ func (p *Platform) SetRecorder(r *trace.Recorder) {
 	if p.faults != nil {
 		p.faults.SetRecorder(r)
 	}
+}
+
+// FoldMetrics gauges the machine's cumulative hardware statistics into
+// the registry: simulator events fired, CSE performance counters, flash
+// array and FTL activity, and NVMe queue-pair totals. Reading these
+// stats never advances the simulation, so folding is observation-only;
+// a nil registry is a no-op. Called after a run (or from the -httpmon
+// snapshot path while a sweep is idle between events).
+func (p *Platform) FoldMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge(metrics.MetricSimEvents).Set(float64(p.Sim.EventsFired()))
+	retired, rate := p.Dev.PerfCounters()
+	reg.Gauge(metrics.MetricCSERetired).Set(retired)
+	reg.Gauge(metrics.MetricCSERate).Set(rate)
+	reads, programs, erases, _, _ := p.Dev.Array.Stats()
+	reg.Gauge(metrics.MetricFlashReads).Set(float64(reads))
+	reg.Gauge(metrics.MetricFlashPrograms).Set(float64(programs))
+	reg.Gauge(metrics.MetricFlashErases).Set(float64(erases))
+	gcRuns, moved, free := p.Dev.FTL.Stats()
+	reg.Gauge(metrics.MetricFTLGCRuns).Set(float64(gcRuns))
+	reg.Gauge(metrics.MetricFTLPagesMoved).Set(float64(moved))
+	reg.Gauge(metrics.MetricFTLFreeBlocks).Set(float64(free))
+	sub, comp := p.Dev.QP.Stats()
+	reg.Gauge(metrics.MetricNVMeSubmitted).Set(float64(sub))
+	reg.Gauge(metrics.MetricNVMeCompleted).Set(float64(comp))
 }
 
 // MeasureSlowdown runs the calibration microbenchmark of §III-A: the same

@@ -18,6 +18,7 @@ import (
 	"activego/internal/inputs"
 	"activego/internal/lang/ast"
 	"activego/internal/lang/interp"
+	"activego/internal/metrics"
 )
 
 // Scales are the paper's four sampling scale factors.
@@ -166,9 +167,18 @@ func Run(prog *ast.Program, reg *inputs.Registry) (*Report, error) {
 // RunScales is Run with a custom scale-factor set (the sampling ablation
 // bench uses 2- and 6-point variants).
 func RunScales(prog *ast.Program, reg *inputs.Registry, scales []float64) (*Report, error) {
+	return RunScalesInstrumented(prog, reg, scales, nil)
+}
+
+// RunScalesInstrumented is RunScales with self-instrumentation: the
+// wall-clock cost of the sampling runs and of curve fitting land in the
+// registry's phase histograms. A nil registry records nothing and reads
+// no clock.
+func RunScalesInstrumented(prog *ast.Program, reg *inputs.Registry, scales []float64, met *metrics.Registry) (*Report, error) {
 	if len(scales) < 2 {
 		return nil, fmt.Errorf("profile: need at least 2 scale factors, got %d", len(scales))
 	}
+	stopSample := met.Phase(metrics.PhaseSample)
 	byLine := map[int]*LineProfile{}
 	for _, scale := range scales {
 		ctx := reg.Context(scale)
@@ -196,7 +206,10 @@ func RunScales(prog *ast.Program, reg *inputs.Registry, scales []float64) (*Repo
 		report.Lines = append(report.Lines, lp)
 	}
 	sort.Slice(report.Lines, func(i, j int) bool { return report.Lines[i].Line < report.Lines[j].Line })
+	stopSample()
 
+	stopFit := met.Phase(metrics.PhaseFit)
+	defer stopFit()
 	for _, lp := range report.Lines {
 		xs := make([]float64, 0, len(scales))
 		for _, s := range scales {

@@ -4,6 +4,8 @@
 package report
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -102,6 +104,51 @@ func (t *Table) String() string {
 	var sb strings.Builder
 	t.Render(&sb)
 	return sb.String()
+}
+
+// WriteJSON serializes the table as one JSON object: title, headers, and
+// rows of cells exactly as they would render as text. The encoding is
+// deterministic (struct field order, no map iteration) so committed
+// outputs diff cleanly.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tableJSON{Title: t.Title, Headers: t.Headers, Rows: t.Rows})
+}
+
+// ReadJSON parses a table previously written with WriteJSON.
+func ReadJSON(r io.Reader) (*Table, error) {
+	var tj tableJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&tj); err != nil {
+		return nil, fmt.Errorf("report: parse table JSON: %w", err)
+	}
+	return &Table{Title: tj.Title, Headers: tj.Headers, Rows: tj.Rows}, nil
+}
+
+// tableJSON is the wire form of a Table. Rows is never omitted so an
+// empty table round-trips to an empty table, not nil-vs-[] mismatches.
+type tableJSON struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// WriteCSV serializes the table as RFC 4180 CSV: a header record
+// followed by one record per row. The title is not emitted (CSV has no
+// comment syntax consumers agree on); pair the file name with it.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 func pad(s string, w int) string {
