@@ -16,6 +16,7 @@ import (
 	"activego/internal/lang/interp"
 	"activego/internal/lang/parser"
 	"activego/internal/lang/value"
+	"activego/internal/par"
 	"activego/internal/plan"
 	"activego/internal/platform"
 	"activego/internal/profile"
@@ -356,6 +357,130 @@ func BenchmarkInterpreterScan(b *testing.B) {
 		if _, _, err := interpRun(prog, reg.Context(1)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSamplingPhase measures the §III-A sampling phase — four
+// scaled interpreter runs plus curve fitting — serial and fanned out
+// over the scale factors on a pool. Output is bit-identical either way
+// (TestParallelInvariance); only wall clock moves.
+func BenchmarkSamplingPhase(b *testing.B) {
+	spec, _ := workloads.ByName("tpch-6")
+	inst := spec.Build(benchParams())
+	prog, err := parser.Parse(inst.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name string
+		pool *par.Pool
+	}{{"j1", nil}, {"jN", par.New(0)}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := profile.RunScalesPool(prog, inst.Registry, profile.ScaledScales, nil, bc.pool); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOptimal16Lines measures the exact planner at its enumeration
+// ceiling: 16 offloadable lines = 65536 candidate placements, scanned
+// serially and sharded across a pool with the lowest-mask tie-break.
+func BenchmarkOptimal16Lines(b *testing.B) {
+	spec, _ := workloads.ByName("tpch-6")
+	wb, err := experiments.Prepare(spec, benchParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	estimates := make([]plan.LineEstimate, plan.MaxOptimalLines)
+	for i := range estimates {
+		ct := 1e-4 * float64(1+i%5)
+		estimates[i] = plan.LineEstimate{
+			Line: i + 1, Execs: 1,
+			CTHost: ct, CTDev: wb.Machine.C * ct,
+			SHost: 2e-4, SDev: 1e-4,
+			DIn: float64(1+i) * 1e5, DOut: float64(16-i) * 1e4,
+		}
+	}
+	for _, bc := range []struct {
+		name string
+		pool *par.Pool
+	}{{"j1", nil}, {"jN", par.New(0)}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := plan.OptimalPool(estimates, plan.Constraints{}, wb.Machine, bc.pool)
+				if res.Planner != plan.PlannerOptimal {
+					b.Fatalf("planner %q", res.Planner)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimKernelScheduleFire measures the event kernel's hot loop:
+// schedule a batch, drain it, repeat. With the typed heap and the event
+// free list the steady state should run allocation-free — allocs/op is
+// the headline metric.
+func BenchmarkSimKernelScheduleFire(b *testing.B) {
+	const batch = 64
+	s := simNew()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			s.After(float64(j+1)*1e-9, fn)
+		}
+		s.Run()
+	}
+}
+
+// BenchmarkBenchsuiteSweep measures the experiment sweep the way
+// cmd/benchsuite runs it with -exp all: independent harnesses fanned out
+// on one pool (which also threads into each harness's own workload
+// fan-out), vs the same sweep serial. The jN/j1 ratio is the wall-clock
+// win of the parallel layer.
+func BenchmarkBenchsuiteSweep(b *testing.B) {
+	sweep := []func(opts ...experiments.Option) error{
+		func(opts ...experiments.Option) error {
+			_, _, err := experiments.Fig2(benchParams(), opts...)
+			return err
+		},
+		func(opts ...experiments.Option) error {
+			_, _, err := experiments.Fig4(benchParams(), opts...)
+			return err
+		},
+		func(opts ...experiments.Option) error {
+			_, _, err := experiments.Accuracy(benchParams(), opts...)
+			return err
+		},
+		func(opts ...experiments.Option) error {
+			_, _, err := experiments.RuntimeOpt(benchParams(), opts...)
+			return err
+		},
+	}
+	for _, bc := range []struct {
+		name string
+		pool *par.Pool
+	}{{"j1", nil}, {"jN", par.New(0)}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := par.Map(bc.pool, len(sweep), func(j int) (struct{}, error) {
+					var opts []experiments.Option
+					if bc.pool != nil {
+						opts = append(opts, experiments.WithPool(bc.pool))
+					}
+					return struct{}{}, sweep[j](opts...)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -72,6 +72,7 @@ func main() {
 	rt := core.New(p)
 	rt.SampleScales = profile.ScaledScales
 	rt.Metrics = obs.Registry()
+	rt.Pool = obs.Pool()
 	rt.PreloadInputs(inst.Registry)
 
 	cfg := core.DefaultConfig()

@@ -26,13 +26,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"activego/internal/bench"
 	"activego/internal/cliutil"
 	"activego/internal/experiments"
 	"activego/internal/metrics"
+	"activego/internal/par"
 	"activego/internal/workloads"
 )
 
@@ -59,10 +62,6 @@ func main() {
 		fmt.Printf("httpmon: serving expvar, pprof, and /metrics on http://%s\n", addr)
 	}
 	reg := obs.Registry()
-	var mopts []experiments.Option
-	if reg != nil {
-		mopts = append(mopts, experiments.WithMetrics(reg))
-	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -70,71 +69,74 @@ func main() {
 		}
 	}
 	params := workloads.Params{ScaleDiv: *scaleDiv, Seed: *seed}
-	runners := map[string]func() (*bench.Manifest, error){
-		"table1": func() (*bench.Manifest, error) {
+	// A runner prints its tables to out (captured per experiment so -j N
+	// interleaves nothing) and records into sub, its private registry
+	// slice (nil when metrics are off; merged into reg in suite order).
+	runners := map[string]func(mopts []experiments.Option, sub *metrics.Registry, out io.Writer) (*bench.Manifest, error){
+		"table1": func(mopts []experiments.Option, _ *metrics.Registry, out io.Writer) (*bench.Manifest, error) {
 			rows, tbl, err := experiments.Table1(params, mopts...)
 			if err != nil {
 				return nil, err
 			}
-			fmt.Print(tbl.String())
+			fmt.Fprint(out, tbl.String())
 			return experiments.BenchTable1(rows, params), nil
 		},
-		"fig2": func() (*bench.Manifest, error) {
+		"fig2": func(mopts []experiments.Option, _ *metrics.Registry, out io.Writer) (*bench.Manifest, error) {
 			res, tbl, err := experiments.Fig2(params, mopts...)
 			if err != nil {
 				return nil, err
 			}
-			fmt.Print(tbl.String())
+			fmt.Fprint(out, tbl.String())
 			return res.Bench(params), nil
 		},
-		"fig4": func() (*bench.Manifest, error) {
+		"fig4": func(mopts []experiments.Option, _ *metrics.Registry, out io.Writer) (*bench.Manifest, error) {
 			res, tbl, err := experiments.Fig4(params, mopts...)
 			if err != nil {
 				return nil, err
 			}
-			fmt.Print(tbl.String())
+			fmt.Fprint(out, tbl.String())
 			return res.Bench(params), nil
 		},
-		"fig5": func() (*bench.Manifest, error) {
+		"fig5": func(mopts []experiments.Option, _ *metrics.Registry, out io.Writer) (*bench.Manifest, error) {
 			res, tbl, err := experiments.Fig5(params, mopts...)
 			if err != nil {
 				return nil, err
 			}
-			fmt.Print(tbl.String())
+			fmt.Fprint(out, tbl.String())
 			return res.Bench(params), nil
 		},
-		"accuracy": func() (*bench.Manifest, error) {
+		"accuracy": func(mopts []experiments.Option, _ *metrics.Registry, out io.Writer) (*bench.Manifest, error) {
 			res, tbl, err := experiments.Accuracy(params, mopts...)
 			if err != nil {
 				return nil, err
 			}
-			fmt.Print(tbl.String())
+			fmt.Fprint(out, tbl.String())
 			return res.Bench(params), nil
 		},
-		"runtimeopt": func() (*bench.Manifest, error) {
+		"runtimeopt": func(mopts []experiments.Option, _ *metrics.Registry, out io.Writer) (*bench.Manifest, error) {
 			res, tbl, err := experiments.RuntimeOpt(params, mopts...)
 			if err != nil {
 				return nil, err
 			}
-			fmt.Print(tbl.String())
+			fmt.Fprint(out, tbl.String())
 			return res.Bench(params), nil
 		},
-		"robustness": func() (*bench.Manifest, error) {
+		"robustness": func(mopts []experiments.Option, _ *metrics.Registry, out io.Writer) (*bench.Manifest, error) {
 			res, tbl, err := experiments.Robustness(params, mopts...)
 			if err != nil {
 				return nil, err
 			}
-			fmt.Print(tbl.String())
+			fmt.Fprint(out, tbl.String())
 			return res.Bench(params), nil
 		},
-		"utilization": func() (*bench.Manifest, error) {
+		"utilization": func(mopts []experiments.Option, sub *metrics.Registry, out io.Writer) (*bench.Manifest, error) {
 			u, tbl, err := experiments.Utilization(params, mopts...)
 			if err != nil {
 				return nil, err
 			}
-			fmt.Print(tbl.String())
-			fmt.Println()
-			fmt.Print(u.MigrationTimeline().String())
+			fmt.Fprint(out, tbl.String())
+			fmt.Fprintln(out)
+			fmt.Fprint(out, u.MigrationTimeline().String())
 			// The trace flags apply to the study's own steady-state
 			// recorder — the run worth a timeline — not a top-level one.
 			if obs.Trace != "" {
@@ -149,23 +151,64 @@ func main() {
 				if err != nil {
 					return nil, err
 				}
-				fmt.Printf("trace: wrote %s (open in Perfetto or chrome://tracing)\n", obs.Trace)
+				fmt.Fprintf(out, "trace: wrote %s (open in Perfetto or chrome://tracing)\n", obs.Trace)
 			}
 			if obs.TraceSummary {
-				fmt.Printf("\n%s", u.Rec.Summary())
+				fmt.Fprintf(out, "\n%s", u.Rec.Summary())
 			}
-			metrics.ObserveRecording(reg, u.Rec)
+			metrics.ObserveRecording(sub, u.Rec)
 			return u.Bench(params), nil
 		},
 	}
 	order := []string{"table1", "fig2", "fig4", "fig5", "accuracy", "runtimeopt", "robustness", "utilization"}
 
-	run := func(name string) {
-		m, err := runners[name]()
-		if err != nil {
-			fail(err)
+	names := order
+	if *exp != "all" {
+		if _, ok := runners[*exp]; !ok {
+			fail(fmt.Errorf("unknown experiment %q (want one of %v or all)", *exp, order))
 		}
+		names = []string{*exp}
+	}
+
+	// Independent experiments fan out on the -j pool; each runner's
+	// output, sub-registry, and manifest are folded back in suite order,
+	// so stdout, the cumulative metrics snapshots attached to manifests,
+	// and the BENCH_*.json files are bit-identical at any -j.
+	pool := obs.Pool()
+	type expOut struct {
+		manifest *bench.Manifest
+		output   string
+		sub      *metrics.Registry
+	}
+	outs, err := par.Map(pool, len(names), func(i int) (expOut, error) {
+		var buf strings.Builder
+		var sopts []experiments.Option
+		var sub *metrics.Registry
+		if reg != nil {
+			sub = metrics.New()
+			sopts = append(sopts, experiments.WithMetrics(sub))
+		}
+		if pool != nil {
+			sopts = append(sopts, experiments.WithPool(pool))
+		}
+		m, err := runners[names[i]](sopts, sub, &buf)
+		if err != nil {
+			return expOut{}, err
+		}
+		return expOut{manifest: m, output: buf.String(), sub: sub}, nil
+	})
+	if err != nil {
+		fail(err)
+	}
+	for i, out := range outs {
+		name := names[i]
+		if len(names) > 1 {
+			fmt.Printf("==== %s ====\n", name)
+		}
+		fmt.Print(out.output)
+		reg.Merge(out.sub)
 		if *outDir != "" {
+			m := out.manifest
 			if reg != nil {
 				snap := reg.Snapshot()
 				m.Metrics = &snap
@@ -177,19 +220,9 @@ func main() {
 			}
 			fmt.Printf("manifest: wrote %s\n", path)
 		}
-	}
-
-	if *exp == "all" {
-		for _, name := range order {
-			fmt.Printf("==== %s ====\n", name)
-			run(name)
+		if len(names) > 1 {
 			fmt.Println()
 		}
-	} else {
-		if _, ok := runners[*exp]; !ok {
-			fail(fmt.Errorf("unknown experiment %q (want one of %v or all)", *exp, order))
-		}
-		run(*exp)
 	}
 	if err := obs.Finish(os.Stdout); err != nil {
 		fail(err)

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"activego/internal/plan"
+)
+
+// wideProgram builds a program with n offloadable assignment lines (plus
+// the load feeding them).
+func wideProgram(n int) string {
+	var sb strings.Builder
+	sb.WriteString(`v = load("x")` + "\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "s%d = vsum(v)\n", i)
+	}
+	return sb.String()
+}
+
+// TestOptimalFallbackThresholdMatchesPlanner pins the linter's duplicated
+// constant to the planner's real limit: AV008 must warn exactly when the
+// planner would degrade. The linter cannot import plan (one-way
+// layering), so this test is the only thing holding the two together.
+func TestOptimalFallbackThresholdMatchesPlanner(t *testing.T) {
+	if optimalFallbackThreshold != plan.MaxOptimalLines {
+		t.Fatalf("optimalFallbackThreshold = %d, plan.MaxOptimalLines = %d: AV008 would warn about the wrong planner behavior",
+			optimalFallbackThreshold, plan.MaxOptimalLines)
+	}
+}
+
+// TestOptimalFallbackLint checks AV008's firing edge: the load line is
+// itself offloadable (EffectReadsStorage), so wideProgram(n) has n+1
+// candidates — silent at the enumeration limit, warning one past it.
+func TestOptimalFallbackLint(t *testing.T) {
+	hasAV008 := func(src string) (bool, string) {
+		diags, err := LintSource(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			if d.Code == CodeOptimalFallback {
+				if d.Severity != SevWarning {
+					t.Errorf("AV008 severity = %v, want warning", d.Severity)
+				}
+				return true, d.Msg
+			}
+		}
+		return false, ""
+	}
+	if fired, msg := hasAV008(wideProgram(optimalFallbackThreshold - 1)); fired {
+		t.Errorf("AV008 fired at the enumeration limit: %s", msg)
+	}
+	fired, msg := hasAV008(wideProgram(optimalFallbackThreshold))
+	if !fired {
+		t.Fatalf("AV008 silent with %d offloadable lines", optimalFallbackThreshold+1)
+	}
+	if !strings.Contains(msg, "plan.optimal.fallback") {
+		t.Errorf("AV008 message does not name the runtime counter: %q", msg)
+	}
+}

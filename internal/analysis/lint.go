@@ -32,13 +32,14 @@ func (s Severity) String() string {
 // Diagnostic codes. AV0xx are program lints; AV1xx are partition
 // verification findings.
 const (
-	CodeUndefined     = "AV001" // use with no reaching definition
-	CodeUnknownFunc   = "AV002" // call of an unregistered builtin
-	CodeArity         = "AV003" // builtin called with the wrong argument count
-	CodeDeadStore     = "AV004" // assignment never read and not program output
-	CodeLoopInvariant = "AV005" // loop-body line computable before the loop
-	CodeUnreachable   = "AV006" // statement after break
-	CodeStrayBreak    = "AV007" // break outside any loop
+	CodeUndefined       = "AV001" // use with no reaching definition
+	CodeUnknownFunc     = "AV002" // call of an unregistered builtin
+	CodeArity           = "AV003" // builtin called with the wrong argument count
+	CodeDeadStore       = "AV004" // assignment never read and not program output
+	CodeLoopInvariant   = "AV005" // loop-body line computable before the loop
+	CodeUnreachable     = "AV006" // statement after break
+	CodeStrayBreak      = "AV007" // break outside any loop
+	CodeOptimalFallback = "AV008" // more offloadable lines than the exact planner enumerates
 
 	CodeIllegalOffload = "AV101" // partition offloads a host-only line
 	CodeUnknownLine    = "AV102" // partition offloads a nonexistent line
@@ -135,8 +136,41 @@ func (r *Report) Lint() []Diagnostic {
 		})
 	}
 
+	// AV008 — more offload candidates than the exact planner enumerates.
+	if n := r.offloadCandidates(); n > optimalFallbackThreshold {
+		diags = append(diags, Diagnostic{
+			Line: 0, Code: CodeOptimalFallback, Severity: SevWarning,
+			Msg: fmt.Sprintf("%d offloadable lines exceed the exact planner's %d-line enumeration limit; planning will silently fall back to the greedy Algorithm 1 (the plan.optimal.fallback counter records it at run time)", n, optimalFallbackThreshold),
+		})
+	}
+
 	sortDiagnostics(diags)
 	return diags
+}
+
+// optimalFallbackThreshold mirrors plan.MaxOptimalLines. The linter must
+// not import the planner (the layering is one-way: core adapts analysis
+// facts into plan.Constraints), so the constant is duplicated here and a
+// test pins the two equal.
+const optimalFallbackThreshold = 16
+
+// offloadCandidates counts the lines the planner would enumerate over:
+// work-bearing statements (assignments and expression calls) that the
+// effect analysis does not pin to the host. Control headers and pass
+// lines carry no estimates, so they never enter the enumeration.
+func (r *Report) offloadCandidates() int {
+	pinned := r.HostPinned()
+	n := 0
+	for _, f := range r.Lines {
+		if f.Kind != KindAssign && f.Kind != KindExpr {
+			continue
+		}
+		if _, p := pinned[f.Line]; p {
+			continue
+		}
+		n++
+	}
+	return n
 }
 
 // loopInvariant reports whether f is an assignment inside a `for` whose

@@ -19,6 +19,7 @@ import (
 	runpprof "runtime/pprof"
 
 	"activego/internal/metrics"
+	"activego/internal/par"
 	"activego/internal/trace"
 )
 
@@ -30,6 +31,7 @@ type Flags struct {
 	MemProfile   string // -memprofile: heap profile path, written on Finish
 	Metrics      string // -metrics: registry snapshot JSON path ("-" = stdout)
 	HTTPMon      string // -httpmon: live monitoring listen address (RegisterMonitor)
+	Jobs         int    // -j: worker count for deterministic fan-outs
 
 	rec     *trace.Recorder
 	reg     *metrics.Registry
@@ -45,7 +47,21 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.CPUProfile, "pprof", "", "write a CPU profile of this process to the file (inspect with go tool pprof)")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile of this process to the file on exit")
 	fs.StringVar(&f.Metrics, "metrics", "", "write the metrics registry snapshot as JSON to this file (- for stdout)")
+	fs.IntVar(&f.Jobs, "j", 1, "workers for deterministic fan-outs (sampling scales, Optimal shards, experiment sweeps); 1 = serial, 0 = GOMAXPROCS; output is bit-identical at any value")
 	return f
+}
+
+// Pool returns the par.Pool the -j flag asked for: nil when -j 1 (the
+// default), which every fan-out treats as the inline serial path with
+// zero extra goroutines. Each simulated run stays single-goroutine on
+// its own kernel regardless; -j only fans out independent runs and
+// analysis shards, and results are assembled in input order so output
+// is bit-identical at any -j.
+func (f *Flags) Pool() *par.Pool {
+	if f.Jobs == 1 {
+		return nil
+	}
+	return par.New(f.Jobs)
 }
 
 // RegisterMonitor additionally installs -httpmon (only benchsuite keeps

@@ -31,6 +31,7 @@ import (
 	"activego/internal/lang/parser"
 	"activego/internal/lang/value"
 	"activego/internal/metrics"
+	"activego/internal/par"
 	"activego/internal/plan"
 	"activego/internal/platform"
 	"activego/internal/profile"
@@ -84,6 +85,11 @@ type Runtime struct {
 	// nothing — runs stay bit-identical either way, because metrics only
 	// observe real time, never simulated decisions.
 	Metrics *metrics.Registry
+	// Pool, when set, fans the sampling runs and the Optimal placement
+	// enumeration out across workers (the -j flag). Nil runs serially;
+	// either way the pipeline's output is bit-identical — par's helpers
+	// merge by input position and break ties toward the serial winner.
+	Pool *par.Pool
 }
 
 // New builds a runtime on p, measuring the platform's slowdown constant C
@@ -127,15 +133,21 @@ func (rt *Runtime) analyzeAll(src string, reg *inputs.Registry) (*ast.Program, *
 	if scales == nil {
 		scales = profile.Scales
 	}
-	report, err := profile.RunScalesInstrumented(prog, reg, scales, rt.Metrics)
+	report, err := profile.RunScalesPool(prog, reg, scales, rt.Metrics, rt.Pool)
 	if err != nil {
 		return nil, nil, nil, nil, fmt.Errorf("core: sampling phase: %w", err)
 	}
 	stop = rt.Metrics.Phase(metrics.PhasePlan)
 	estimates := plan.BuildEstimates(report.Predictions(), rt.Machine, codegen.Native)
 	cons := plan.Constraints{HostOnly: static.HostPinned()}
-	planRes := plan.Optimal(estimates, cons, rt.Machine)
+	planRes := plan.OptimalPool(estimates, cons, rt.Machine, rt.Pool)
 	stop()
+	if planRes.Planner != plan.PlannerOptimal {
+		// The exact planner degraded to the greedy walk (more than
+		// plan.MaxOptimalLines offloadable lines); surface it — analysis
+		// raises the matching AV008 vet note statically.
+		rt.Metrics.Counter(metrics.MetricPlanOptimalFallback).Add(1)
+	}
 	return prog, static, report, planRes, nil
 }
 

@@ -1,0 +1,49 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"activego/internal/metrics"
+	"activego/internal/plan"
+)
+
+// TestOptimalFallbackCounter pins the runtime record of the planner's
+// silent degradation: a program with more than plan.MaxOptimalLines
+// offloadable lines must bump plan.optimal.fallback exactly once per
+// pipeline run and report PlannerAlgorithm1, while a small program
+// leaves the counter at zero.
+func TestOptimalFallbackCounter(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString(`v = load("sensors")` + "\n")
+	for i := 0; i <= plan.MaxOptimalLines; i++ {
+		fmt.Fprintf(&sb, "s%d = vsum(v)\n", i)
+	}
+
+	reg := scanRegistry(1 << 14)
+	rt := newRuntime()
+	rt.Metrics = metrics.New()
+	rt.PreloadInputs(reg)
+	_, _, planRes, err := rt.Analyze(sb.String(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planRes.Planner != plan.PlannerAlgorithm1 {
+		t.Errorf("planner = %q, want %q (fallback)", planRes.Planner, plan.PlannerAlgorithm1)
+	}
+	if got := rt.Metrics.Counter(metrics.MetricPlanOptimalFallback).Value(); got != 1 {
+		t.Errorf("%s = %g after one degraded run, want 1", metrics.MetricPlanOptimalFallback, got)
+	}
+
+	small := newRuntime()
+	small.Metrics = metrics.New()
+	smallReg := scanRegistry(1 << 14)
+	small.PreloadInputs(smallReg)
+	if _, _, _, err := small.Analyze(scanProgram, smallReg); err != nil {
+		t.Fatal(err)
+	}
+	if got := small.Metrics.Counter(metrics.MetricPlanOptimalFallback).Value(); got != 0 {
+		t.Errorf("%s = %g on an exactly-planned run, want 0", metrics.MetricPlanOptimalFallback, got)
+	}
+}

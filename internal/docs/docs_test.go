@@ -97,6 +97,32 @@ func TestEveryInternalPackageDocumented(t *testing.T) {
 	}
 }
 
+// TestReadmePackageMapComplete requires every internal package to
+// appear in README.md's package map: each top-level directory under
+// internal/ must be named in a backticked cell (subpackage trees like
+// lang/* may be rolled up under their parent, so `lang/` counts).
+func TestReadmePackageMapComplete(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join(root, "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme := string(data)
+	entries, err := os.ReadDir(filepath.Join(root, "internal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if strings.Contains(readme, "`"+name+"`") || strings.Contains(readme, "`"+name+"/") {
+			continue
+		}
+		t.Errorf("internal/%s is not in README.md's package map", name)
+	}
+}
+
 // ctrRow matches one data row of the DESIGN.md §9 counter table:
 // | `name` | unit | component | sampling point |
 var ctrRow = regexp.MustCompile("^\\|\\s*`([a-z0-9_]+(?:\\.[a-z0-9_]+)+)`\\s*\\|\\s*([^|]+?)\\s*\\|\\s*([^|]+?)\\s*\\|")

@@ -43,36 +43,48 @@ const minActualBytes = 4096
 // ISP gains come from; CSR construction is the known-hard case (sparsity
 // is invisible in prefix samples).
 func Accuracy(params workloads.Params, opts ...Option) (*AccuracyResult, *report.Table, error) {
-	res := &AccuracyResult{CSRAlwaysOver: true}
-	tbl := report.NewTable("§V prediction accuracy: per-line output volume",
-		"workload", "line", "predicted", "actual", "ratio", "csr")
-	var logSum float64
-	var nNormal int
-	for _, spec := range workloads.All() {
-		wb, err := Prepare(spec, params, opts...)
+	o := buildOptions(opts)
+	specs := workloads.All()
+	perSpec, err := overSpecs(o, len(specs), func(i int, sopts []Option) ([]AccuracyLine, error) {
+		spec := specs[i]
+		wb, err := Prepare(spec, params, sopts...)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		// Actual per-line output volumes from the full-scale trace.
 		actual := map[int]float64{}
-		for i := range wb.Trace.Records {
-			rec := &wb.Trace.Records[i]
+		for j := range wb.Trace.Records {
+			rec := &wb.Trace.Records[j]
 			actual[rec.Line] += float64(rec.OutBytes())
 		}
 		csrLines := csrLineSet(wb.Inst.Source)
+		var lines []AccuracyLine
 		for _, pred := range wb.Profile.Predictions() {
 			act := actual[pred.Line]
 			if act < minActualBytes {
 				continue
 			}
-			line := AccuracyLine{
+			lines = append(lines, AccuracyLine{
 				Workload:  spec.Name,
 				Line:      pred.Line,
 				Predicted: pred.OutBytes,
 				Actual:    act,
 				Ratio:     pred.OutBytes / act,
 				IsCSR:     csrLines[pred.Line],
-			}
+			})
+		}
+		return lines, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &AccuracyResult{CSRAlwaysOver: true}
+	tbl := report.NewTable("§V prediction accuracy: per-line output volume",
+		"workload", "line", "predicted", "actual", "ratio", "csr")
+	var logSum float64
+	var nNormal int
+	for _, lines := range perSpec {
+		for _, line := range lines {
 			res.Lines = append(res.Lines, line)
 			if line.IsCSR {
 				if line.Ratio > res.MaxCSROverestimate {
@@ -89,7 +101,7 @@ func Accuracy(params workloads.Params, opts ...Option) (*AccuracyResult, *report
 				logSum += math.Log(err)
 				nNormal++
 			}
-			tbl.AddRow(spec.Name, fmt.Sprintf("%d", pred.Line),
+			tbl.AddRow(line.Workload, fmt.Sprintf("%d", line.Line),
 				fmtMB(int64(line.Predicted)), fmtMB(int64(line.Actual)),
 				fmt.Sprintf("%.3f", line.Ratio), fmt.Sprintf("%v", line.IsCSR))
 		}

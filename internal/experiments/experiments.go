@@ -22,6 +22,7 @@ import (
 	"activego/internal/exec"
 	"activego/internal/lang/interp"
 	"activego/internal/metrics"
+	"activego/internal/par"
 	"activego/internal/plan"
 	"activego/internal/platform"
 	"activego/internal/profile"
@@ -34,6 +35,7 @@ type Option func(*options)
 
 type options struct {
 	metrics *metrics.Registry
+	pool    *par.Pool
 }
 
 // WithMetrics instruments the harness with the registry: pipeline phase
@@ -45,12 +47,54 @@ func WithMetrics(reg *metrics.Registry) Option {
 	return func(o *options) { o.metrics = reg }
 }
 
+// WithPool fans the harness out on p: independent workload configs run
+// concurrently (each simulation stays single-goroutine on its own
+// kernel), and the pool threads through Prepare into the pipeline's own
+// fan-outs (sampling scales, Optimal enumeration shards). Results,
+// tables, and metrics are assembled in input order, so every output is
+// bit-identical to the serial run — TestParallelInvariance pins it.
+func WithPool(p *par.Pool) Option {
+	return func(o *options) { o.pool = p }
+}
+
 func buildOptions(opts []Option) options {
 	var o options
 	for _, opt := range opts {
 		opt(&o)
 	}
 	return o
+}
+
+// overSpecs runs body once per input index, fanned out on o's pool, and
+// returns the bodies' results indexed by input position. Each body gets
+// the option slice to forward to Prepare: the shared pool, plus — when
+// the harness was given a metrics registry — a private sub-registry, so
+// concurrent bodies never interleave their recordings. The sub-registries
+// merge back into the shared registry in input order after every body
+// finishes (see metrics.Merge), which makes the final registry state a
+// pure function of the inputs, not of goroutine scheduling. The serial
+// path uses the same sub-registry structure, so -j 1 and -j N snapshots
+// are bit-identical.
+func overSpecs[T any](o options, n int, body func(i int, opts []Option) (T, error)) ([]T, error) {
+	subs := make([]*metrics.Registry, n)
+	out, err := par.Map(o.pool, n, func(i int) (T, error) {
+		var sopts []Option
+		if o.metrics != nil {
+			subs[i] = metrics.New()
+			sopts = append(sopts, WithMetrics(subs[i]))
+		}
+		if o.pool != nil {
+			sopts = append(sopts, WithPool(o.pool))
+		}
+		return body(i, sopts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, sub := range subs {
+		o.metrics.Merge(sub)
+	}
+	return out, nil
 }
 
 // Workbench holds everything computed once per workload and shared by
@@ -83,6 +127,7 @@ func Prepare(spec workloads.Spec, params workloads.Params, opts ...Option) (*Wor
 	rt := core.New(platform.Default())
 	rt.SampleScales = profile.ScaledScales // instances are pre-scaled; see profile.ScaledScales
 	rt.Metrics = o.metrics
+	rt.Pool = o.pool
 	rt.PreloadInputs(inst.Registry)
 
 	prog, rep, planRes, err := rt.Analyze(inst.Source, inst.Registry)

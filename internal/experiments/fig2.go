@@ -58,30 +58,43 @@ func (r *Fig2Result) SpeedupAt(workload string, avail float64) float64 {
 // than roughly half the CSE is available, because a static framework
 // cannot move the work back.
 func Fig2(params workloads.Params, opts ...Option) (*Fig2Result, *report.Table, error) {
-	res := &Fig2Result{}
-	tbl := report.NewTable("Figure 2: static C ISP speedup vs CSE availability",
-		append([]string{"workload"}, availHeaders()...)...)
-	for _, name := range Fig2Workloads {
+	o := buildOptions(opts)
+	type perWorkload struct {
+		points []Fig2Point
+		cells  []string
+	}
+	outs, err := overSpecs(o, len(Fig2Workloads), func(wi int, sopts []Option) (perWorkload, error) {
+		name := Fig2Workloads[wi]
 		spec, ok := workloads.ByName(name)
 		if !ok {
-			return nil, nil, fmt.Errorf("experiments: fig2: no workload %q", name)
+			return perWorkload{}, fmt.Errorf("experiments: fig2: no workload %q", name)
 		}
-		wb, err := Prepare(spec, params, opts...)
+		wb, err := Prepare(spec, params, sopts...)
 		if err != nil {
-			return nil, nil, err
+			return perWorkload{}, err
 		}
-		cells := []string{name}
+		out := perWorkload{cells: []string{name}}
 		for _, avail := range Fig2Availabilities {
 			a := avail
 			run, err := wb.RunStatic(func(p *platform.Platform) { p.Dev.SetAvailability(a) })
 			if err != nil {
-				return nil, nil, fmt.Errorf("experiments: fig2: %s@%.0f%%: %w", name, a*100, err)
+				return perWorkload{}, fmt.Errorf("experiments: fig2: %s@%.0f%%: %w", name, a*100, err)
 			}
 			sp := wb.Baseline / run.Duration
-			res.Points = append(res.Points, Fig2Point{Workload: name, Availability: a, Speedup: sp})
-			cells = append(cells, fmt.Sprintf("%.2f", sp))
+			out.points = append(out.points, Fig2Point{Workload: name, Availability: a, Speedup: sp})
+			out.cells = append(out.cells, fmt.Sprintf("%.2f", sp))
 		}
-		tbl.AddRow(cells...)
+		return out, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &Fig2Result{}
+	tbl := report.NewTable("Figure 2: static C ISP speedup vs CSE availability",
+		append([]string{"workload"}, availHeaders()...)...)
+	for _, out := range outs {
+		res.Points = append(res.Points, out.points...)
+		tbl.AddRow(out.cells...)
 	}
 	return res, tbl, nil
 }

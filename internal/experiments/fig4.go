@@ -35,18 +35,17 @@ type Fig4Result struct {
 // exactly the optimal line sets; the reproduction target is that the two
 // bars track each other within a few percent on every application.
 func Fig4(params workloads.Params, opts ...Option) (*Fig4Result, *report.Table, error) {
-	res := &Fig4Result{}
-	tbl := report.NewTable("Figure 4: speedup vs no-ISP C baseline",
-		"workload", "baseline", "static ISP", "activepy", "plan match", "gap")
-	var sumS, sumA float64
-	for _, spec := range workloads.TableI() {
-		wb, err := Prepare(spec, params, opts...)
+	o := buildOptions(opts)
+	specs := workloads.TableI()
+	rows, err := overSpecs(o, len(specs), func(i int, sopts []Option) (Fig4Row, error) {
+		spec := specs[i]
+		wb, err := Prepare(spec, params, sopts...)
 		if err != nil {
-			return nil, nil, err
+			return Fig4Row{}, err
 		}
 		auto, err := wb.RunActivePy(true, nil)
 		if err != nil {
-			return nil, nil, fmt.Errorf("experiments: fig4: %s: %w", spec.Name, err)
+			return Fig4Row{}, fmt.Errorf("experiments: fig4: %s: %w", spec.Name, err)
 		}
 		row := Fig4Row{
 			Workload:        spec.Name,
@@ -57,13 +56,23 @@ func Fig4(params workloads.Params, opts ...Option) (*Fig4Result, *report.Table, 
 			PlanLines:       wb.Plan.Partition.Lines(),
 		}
 		row.GapPercent = 100 * (row.StaticSpeedup - row.ActivePySpeedup) / row.StaticSpeedup
+		return row, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &Fig4Result{}
+	tbl := report.NewTable("Figure 4: speedup vs no-ISP C baseline",
+		"workload", "baseline", "static ISP", "activepy", "plan match", "gap")
+	var sumS, sumA float64
+	for _, row := range rows {
 		res.Rows = append(res.Rows, row)
 		sumS += row.StaticSpeedup
 		sumA += row.ActivePySpeedup
 		if row.PlanMatches {
 			res.Matches++
 		}
-		tbl.AddRow(spec.Name,
+		tbl.AddRow(row.Workload,
 			fmt.Sprintf("%.2f ms", row.BaselineTime*1e3),
 			fmt.Sprintf("%.3fx", row.StaticSpeedup),
 			fmt.Sprintf("%.3fx", row.ActivePySpeedup),

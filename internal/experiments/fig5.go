@@ -111,41 +111,53 @@ func progressTime(start float64, progress []exec.Progress, frac float64) float64
 // paper's methodology — leaving 50% or 10% of the CSE available for the
 // rest of the run.
 func Fig5(params workloads.Params, opts ...Option) (*Fig5Result, *report.Table, error) {
-	res := &Fig5Result{}
-	tbl := report.NewTable("Figure 5: speedup vs baseline under CSE contention",
-		"workload", "avail", "w/ migration", "w/o migration", "migrated")
-	for _, spec := range workloads.All() {
-		wb, err := Prepare(spec, params, opts...)
+	o := buildOptions(opts)
+	specs := workloads.All()
+	perSpec, err := overSpecs(o, len(specs), func(i int, sopts []Option) ([]Fig5Row, error) {
+		spec := specs[i]
+		wb, err := Prepare(spec, params, sopts...)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		// Reference run at full availability to locate the 50%-progress
 		// instant of the offloaded task.
 		ref, err := wb.RunActivePy(false, nil)
 		if err != nil {
-			return nil, nil, fmt.Errorf("experiments: fig5: %s ref: %w", spec.Name, err)
+			return nil, fmt.Errorf("experiments: fig5: %s ref: %w", spec.Name, err)
 		}
 		t50 := progressTime(ref.Start, ref.CSDProgress, 0.5)
+		var rows []Fig5Row
 		for _, avail := range Fig5Availabilities {
 			a := avail
 			stress := func(p *platform.Platform) { p.Dev.ScheduleStress(t50, a, 0) }
 			with, err := wb.RunActivePy(true, stress)
 			if err != nil {
-				return nil, nil, fmt.Errorf("experiments: fig5: %s@%.0f%% with: %w", spec.Name, a*100, err)
+				return nil, fmt.Errorf("experiments: fig5: %s@%.0f%% with: %w", spec.Name, a*100, err)
 			}
 			without, err := wb.RunActivePy(false, stress)
 			if err != nil {
-				return nil, nil, fmt.Errorf("experiments: fig5: %s@%.0f%% without: %w", spec.Name, a*100, err)
+				return nil, fmt.Errorf("experiments: fig5: %s@%.0f%% without: %w", spec.Name, a*100, err)
 			}
-			row := Fig5Row{
+			rows = append(rows, Fig5Row{
 				Workload:         spec.Name,
 				Availability:     a,
 				WithMigration:    wb.Baseline / with.Duration,
 				WithoutMigration: wb.Baseline / without.Duration,
 				Migrated:         with.Migrated,
-			}
+			})
+		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &Fig5Result{}
+	tbl := report.NewTable("Figure 5: speedup vs baseline under CSE contention",
+		"workload", "avail", "w/ migration", "w/o migration", "migrated")
+	for _, rows := range perSpec {
+		for _, row := range rows {
 			res.Rows = append(res.Rows, row)
-			tbl.AddRow(spec.Name, fmt.Sprintf("%.0f%%", a*100),
+			tbl.AddRow(row.Workload, fmt.Sprintf("%.0f%%", row.Availability*100),
 				fmt.Sprintf("%.3fx", row.WithMigration),
 				fmt.Sprintf("%.3fx", row.WithoutMigration),
 				fmt.Sprintf("%v", row.Migrated))

@@ -136,18 +136,18 @@ func (wb *Workbench) RunRobust(plan *fault.Plan) (*exec.Result, error) {
 // still finished. The zero-rate column doubles as the cost-free-when-idle
 // check: its durations must equal the clean runs bit-for-bit.
 func Robustness(params workloads.Params, opts ...Option) (*RobustnessResult, *report.Table, error) {
-	res := &RobustnessResult{}
-	tbl := report.NewTable("Robustness: recovery under injected faults",
-		"workload", "rate", "duration", "overhead", "failed calls", "retries", "timeouts", "failed over", "completed")
-	for _, name := range RobustnessWorkloads {
+	o := buildOptions(opts)
+	perSpec, err := overSpecs(o, len(RobustnessWorkloads), func(i int, sopts []Option) ([]RobustnessRow, error) {
+		name := RobustnessWorkloads[i]
 		spec, ok := workloads.ByName(name)
 		if !ok {
-			return nil, nil, fmt.Errorf("experiments: robustness: no workload %q", name)
+			return nil, fmt.Errorf("experiments: robustness: no workload %q", name)
 		}
-		wb, err := Prepare(spec, params, opts...)
+		wb, err := Prepare(spec, params, sopts...)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
+		var rows []RobustnessRow
 		var clean float64
 		for _, rate := range RobustnessRates {
 			row := RobustnessRow{Workload: name, Rate: rate}
@@ -167,10 +167,22 @@ func Robustness(params workloads.Params, opts ...Option) (*RobustnessResult, *re
 				}
 			} else if rate == 0 {
 				// The control must never fail; that is a harness bug.
-				return nil, nil, fmt.Errorf("experiments: robustness: %s control: %w", name, err)
+				return nil, fmt.Errorf("experiments: robustness: %s control: %w", name, err)
 			}
+			rows = append(rows, row)
+		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &RobustnessResult{}
+	tbl := report.NewTable("Robustness: recovery under injected faults",
+		"workload", "rate", "duration", "overhead", "failed calls", "retries", "timeouts", "failed over", "completed")
+	for _, rows := range perSpec {
+		for _, row := range rows {
 			res.Rows = append(res.Rows, row)
-			tbl.AddRow(name, fmt.Sprintf("%.2f", rate),
+			tbl.AddRow(row.Workload, fmt.Sprintf("%.2f", row.Rate),
 				fmt.Sprintf("%.4fs", row.Duration),
 				fmt.Sprintf("%+.1f%%", row.Overhead*100),
 				fmt.Sprintf("%d", row.FailedCalls),

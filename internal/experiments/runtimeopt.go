@@ -31,14 +31,13 @@ type RuntimeOptResult struct {
 // (+1% compile overhead) slower than hand-written C; the reproduction
 // target is that ordering and rough spacing.
 func RuntimeOpt(params workloads.Params, opts ...Option) (*RuntimeOptResult, *report.Table, error) {
-	res := &RuntimeOptResult{}
-	tbl := report.NewTable("§V runtime optimization ladder: slowdown vs C baseline (host only)",
-		"workload", "interpreted", "cython", "activepy-native")
-	var si, sc, sn float64
-	for _, spec := range workloads.TableI() {
-		wb, err := Prepare(spec, params, opts...)
+	o := buildOptions(opts)
+	specs := workloads.TableI()
+	rows, err := overSpecs(o, len(specs), func(i int, sopts []Option) (RuntimeOptRow, error) {
+		spec := specs[i]
+		wb, err := Prepare(spec, params, sopts...)
 		if err != nil {
-			return nil, nil, err
+			return RuntimeOptRow{}, err
 		}
 		slow := func(b codegen.Backend) (float64, error) {
 			run, err := wb.RunBackend(b)
@@ -49,25 +48,34 @@ func RuntimeOpt(params workloads.Params, opts ...Option) (*RuntimeOptResult, *re
 		}
 		interp, err := slow(codegen.Interpreted)
 		if err != nil {
-			return nil, nil, err
+			return RuntimeOptRow{}, err
 		}
 		cython, err := slow(codegen.Cython)
 		if err != nil {
-			return nil, nil, err
+			return RuntimeOptRow{}, err
 		}
 		native, err := slow(codegen.Native)
 		if err != nil {
-			return nil, nil, err
+			return RuntimeOptRow{}, err
 		}
-		row := RuntimeOptRow{Workload: spec.Name, Interpreted: interp, Cython: cython, Native: native}
+		return RuntimeOptRow{Workload: spec.Name, Interpreted: interp, Cython: cython, Native: native}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &RuntimeOptResult{}
+	tbl := report.NewTable("§V runtime optimization ladder: slowdown vs C baseline (host only)",
+		"workload", "interpreted", "cython", "activepy-native")
+	var si, sc, sn float64
+	for _, row := range rows {
 		res.Rows = append(res.Rows, row)
-		si += interp
-		sc += cython
-		sn += native
-		tbl.AddRow(spec.Name,
-			fmt.Sprintf("%.1f%%", interp*100),
-			fmt.Sprintf("%.1f%%", cython*100),
-			fmt.Sprintf("%.1f%%", native*100))
+		si += row.Interpreted
+		sc += row.Cython
+		sn += row.Native
+		tbl.AddRow(row.Workload,
+			fmt.Sprintf("%.1f%%", row.Interpreted*100),
+			fmt.Sprintf("%.1f%%", row.Cython*100),
+			fmt.Sprintf("%.1f%%", row.Native*100))
 	}
 	n := float64(len(res.Rows))
 	res.MeanInterp, res.MeanCython, res.MeanNative = si/n, sc/n, sn/n

@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMergeEquivalentToSharedRegistry pins Merge's determinism contract:
+// N runs recording into private registries, merged in input order, must
+// snapshot identically to the same N runs sharing one registry serially.
+func TestMergeEquivalentToSharedRegistry(t *testing.T) {
+	record := func(reg *Registry, run int) {
+		reg.Counter("c.runs").Add(1)
+		reg.Counter("c.bytes").Add(float64(1000 * (run + 1)))
+		reg.Gauge("g.last").Set(float64(run))
+		reg.Histogram("h.lat").Observe(float64(run) + 0.5)
+		reg.Histogram("h.lat").Observe(float64(run) * 10)
+	}
+
+	shared := New()
+	for run := 0; run < 4; run++ {
+		record(shared, run)
+	}
+
+	merged := New()
+	for run := 0; run < 4; run++ {
+		sub := New()
+		record(sub, run)
+		merged.Merge(sub)
+	}
+
+	if got, want := merged.Snapshot(), shared.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Errorf("merged snapshot differs from shared-registry snapshot:\nmerged: %+v\nshared: %+v", got, want)
+	}
+	if v := merged.Gauge("g.last").Value(); v != 3 {
+		t.Errorf("gauge after merge = %g, want 3 (last merge wins)", v)
+	}
+}
+
+// TestMergeNilSafe: nil receiver and nil source are no-ops, and merging
+// an empty registry changes nothing.
+func TestMergeNilSafe(t *testing.T) {
+	var nilReg *Registry
+	nilReg.Merge(New()) // must not panic
+	r := New()
+	r.Counter("c").Add(2)
+	r.Merge(nil)
+	r.Merge(New())
+	if v := r.Counter("c").Value(); v != 2 {
+		t.Errorf("counter = %g after no-op merges, want 2", v)
+	}
+	// An unset gauge must not clobber a set one.
+	r.Gauge("g").Set(7)
+	src := New()
+	_ = src.Gauge("g") // created but never Set
+	r.Merge(src)
+	if v := r.Gauge("g").Value(); v != 7 {
+		t.Errorf("unset source gauge overwrote destination: %g", v)
+	}
+}

@@ -340,6 +340,74 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// Merge folds src into r: counters add, set gauges overwrite (last merge
+// wins, so merging per-run registries in input order reproduces the
+// last-writer-wins outcome of the serial runs sharing one registry), and
+// histograms combine counts, sums, extremes, and buckets. The parallel
+// experiment harnesses give each concurrent run a private registry and
+// Merge them back in input order, which makes the merged snapshot
+// deterministic regardless of scheduling. Nil receiver or source is a
+// no-op.
+func (r *Registry) Merge(src *Registry) {
+	if r == nil || src == nil {
+		return
+	}
+	src.mu.Lock()
+	counters := make(map[string]*Counter, len(src.counters))
+	for k, v := range src.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(src.gauges))
+	for k, v := range src.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(src.hists))
+	for k, v := range src.hists {
+		hists[k] = v
+	}
+	src.mu.Unlock()
+
+	for _, name := range sortedKeys(counters) {
+		r.Counter(name).Add(counters[name].Value())
+	}
+	for _, name := range sortedKeys(gauges) {
+		g := gauges[name]
+		g.mu.Lock()
+		v, set := g.v, g.set
+		g.mu.Unlock()
+		if set {
+			r.Gauge(name).Set(v)
+		}
+	}
+	for _, name := range sortedKeys(hists) {
+		h := hists[name]
+		h.mu.Lock()
+		count, sum, min, max := h.count, h.sum, h.min, h.max
+		buckets := make(map[int]uint64, len(h.buckets))
+		for e, c := range h.buckets {
+			buckets[e] = c
+		}
+		h.mu.Unlock()
+		if count == 0 {
+			continue
+		}
+		dst := r.Histogram(name)
+		dst.mu.Lock()
+		if dst.count == 0 || min < dst.min {
+			dst.min = min
+		}
+		if dst.count == 0 || max > dst.max {
+			dst.max = max
+		}
+		dst.count += count
+		dst.sum += sum
+		for e, c := range buckets {
+			dst.buckets[e] += c
+		}
+		dst.mu.Unlock()
+	}
+}
+
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {

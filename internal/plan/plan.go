@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"activego/internal/codegen"
+	"activego/internal/par"
 	"activego/internal/platform"
 	"activego/internal/profile"
 )
@@ -164,7 +165,7 @@ type Result struct {
 	THost     float64 // projected all-host execution time
 	TCSD      float64 // projected time under the chosen partition
 	// Planner names the algorithm that actually produced the partition.
-	// Optimal silently falls back to Algorithm1 beyond maxOptimalLines,
+	// Optimal silently falls back to Algorithm1 beyond MaxOptimalLines,
 	// so this is the only record of which argmin the caller really got.
 	Planner string
 }
@@ -379,8 +380,12 @@ func EvaluatePlacementDetail(estimates []LineEstimate, part codegen.Partition, m
 	return ev
 }
 
-// maxOptimalLines bounds Optimal's exhaustive enumeration.
-const maxOptimalLines = 16
+// MaxOptimalLines bounds Optimal's exhaustive enumeration. Beyond it the
+// planner silently degrades to Algorithm1; core emits the
+// plan.optimal.fallback metric and analysis raises an AV008 note so the
+// degradation is visible (a test pins the analysis threshold to this
+// constant).
+const MaxOptimalLines = 16
 
 // Optimal evaluates every combination of line assignments under
 // EvaluatePlacement and returns the best. This is the planner the
@@ -390,12 +395,22 @@ const maxOptimalLines = 16
 // can afford the exact argmin of Equation 1 over its sampled estimates
 // instead of a greedy walk. Algorithm1 and Algorithm1Literal remain
 // available for the planner ablation. Falls back to Algorithm1 beyond
-// maxOptimalLines offloadable lines — Result.Planner records which
+// MaxOptimalLines offloadable lines — Result.Planner records which
 // algorithm actually ran.
 //
 // Lines pinned by cons are excluded from the enumeration, so no
 // candidate partition ever places them on the CSD.
 func Optimal(estimates []LineEstimate, cons Constraints, m Machine) *Result {
+	return OptimalPool(estimates, cons, m, nil)
+}
+
+// OptimalPool is Optimal with the placement enumeration sharded across
+// pool's workers (nil = serial scan). Each worker scans a contiguous mask
+// range with the serial strict-< comparison and the shard winners merge
+// in ascending shard order, so ties resolve to the lowest mask — the
+// argmin is the serial scan's bit for bit (par.ArgMin carries that
+// contract; TestOptimalPoolMatchesSerial pins it here).
+func OptimalPool(estimates []LineEstimate, cons Constraints, m Machine, pool *par.Pool) *Result {
 	// Only unpinned lines participate in the enumeration.
 	var free []int // indices into estimates
 	for i := range estimates {
@@ -404,26 +419,30 @@ func Optimal(estimates []LineEstimate, cons Constraints, m Machine) *Result {
 		}
 	}
 	n := len(free)
-	if n > maxOptimalLines {
+	if n > MaxOptimalLines {
 		return Algorithm1(estimates, cons, m)
 	}
-	tHost := EvaluatePlacement(estimates, codegen.NewPartition(), m)
-	best := codegen.NewPartition()
-	bestT := tHost
-	for mask := 1; mask < 1<<n; mask++ {
+	buildPart := func(mask int) codegen.Partition {
 		part := codegen.NewPartition()
 		for i := 0; i < n; i++ {
 			if mask&(1<<i) != 0 {
 				part.CSDLines[estimates[free[i]].Line] = true
 			}
 		}
-		t := EvaluatePlacement(estimates, part, m)
-		if t < bestT {
-			bestT = t
-			best = part
-		}
+		return part
 	}
-	return &Result{Partition: best, Estimates: estimates, THost: tHost, TCSD: bestT, Planner: PlannerOptimal}
+	// Mask 0 is the empty partition, so ArgMin's index space covers the
+	// all-host baseline too; the lowest-index tie-break keeps mask 0 (and
+	// with it THost == TCSD) when no offload strictly wins, exactly as the
+	// serial scan's strict < did.
+	bestMask, bestT := par.ArgMin(pool, 1<<n, func(mask int) float64 {
+		return EvaluatePlacement(estimates, buildPart(mask), m)
+	})
+	tHost := bestT
+	if bestMask != 0 {
+		tHost = EvaluatePlacement(estimates, codegen.NewPartition(), m)
+	}
+	return &Result{Partition: buildPart(bestMask), Estimates: estimates, THost: tHost, TCSD: bestT, Planner: PlannerOptimal}
 }
 
 // Describe renders the plan for logs and examples.

@@ -195,10 +195,10 @@ func TestPlannerLabels(t *testing.T) {
 
 func TestOptimalFallbackRecordsActualPlanner(t *testing.T) {
 	m := testMachine()
-	// Beyond maxOptimalLines offloadable lines, Optimal silently runs
+	// Beyond MaxOptimalLines offloadable lines, Optimal silently runs
 	// Algorithm1 — Result.Planner must say so.
 	var ests []LineEstimate
-	for i := 1; i <= maxOptimalLines+1; i++ {
+	for i := 1; i <= MaxOptimalLines+1; i++ {
 		ests = append(ests, est(i, 0.001, 0, 0, 64, 64, "", ""))
 	}
 	res := Optimal(ests, Constraints{}, m)

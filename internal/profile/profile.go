@@ -19,6 +19,7 @@ import (
 	"activego/internal/lang/ast"
 	"activego/internal/lang/interp"
 	"activego/internal/metrics"
+	"activego/internal/par"
 )
 
 // Scales are the paper's four sampling scale factors.
@@ -175,30 +176,52 @@ func RunScales(prog *ast.Program, reg *inputs.Registry, scales []float64) (*Repo
 // registry's phase histograms. A nil registry records nothing and reads
 // no clock.
 func RunScalesInstrumented(prog *ast.Program, reg *inputs.Registry, scales []float64, met *metrics.Registry) (*Report, error) {
+	return RunScalesPool(prog, reg, scales, met, nil)
+}
+
+// RunScalesPool is RunScalesInstrumented with the sampling runs fanned
+// out on pool (nil = serial). Each scale already builds its own
+// interpreter context over the read-only input registry, so the runs are
+// independent; per-scale aggregates are merged back in scale order, which
+// makes the report — and everything fitted from it — bit-identical to the
+// serial path.
+func RunScalesPool(prog *ast.Program, reg *inputs.Registry, scales []float64, met *metrics.Registry, pool *par.Pool) (*Report, error) {
 	if len(scales) < 2 {
 		return nil, fmt.Errorf("profile: need at least 2 scale factors, got %d", len(scales))
 	}
 	stopSample := met.Phase(metrics.PhaseSample)
-	byLine := map[int]*LineProfile{}
-	for _, scale := range scales {
+	perScale, err := par.Map(pool, len(scales), func(si int) (map[int]*Metrics, error) {
+		scale := scales[si]
 		ctx := reg.Context(scale)
 		trace, _, err := interp.Run(prog, ctx)
 		if err != nil {
 			return nil, fmt.Errorf("profile: sample run at scale %g: %w", scale, err)
 		}
+		byLine := map[int]*Metrics{}
 		for i := range trace.Records {
 			rec := &trace.Records[i]
-			lp := byLine[rec.Line]
-			if lp == nil {
-				lp = &LineProfile{Line: rec.Line, Samples: map[float64]*Metrics{}}
-				byLine[rec.Line] = lp
-			}
-			m := lp.Samples[scale]
+			m := byLine[rec.Line]
 			if m == nil {
 				m = &Metrics{}
-				lp.Samples[scale] = m
+				byLine[rec.Line] = m
 			}
 			m.add(rec)
+		}
+		return byLine, nil
+	})
+	if err != nil {
+		stopSample()
+		return nil, err
+	}
+	byLine := map[int]*LineProfile{}
+	for si, scale := range scales {
+		for line, m := range perScale[si] {
+			lp := byLine[line]
+			if lp == nil {
+				lp = &LineProfile{Line: line, Samples: map[float64]*Metrics{}}
+				byLine[line] = lp
+			}
+			lp.Samples[scale] = m
 		}
 	}
 	report := &Report{}

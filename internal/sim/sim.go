@@ -13,7 +13,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -26,13 +25,21 @@ type Time = float64
 // Event is a scheduled callback. Cancel it to prevent it from firing;
 // cancellation is how resources reschedule in-flight work when their
 // effective service rate changes.
+//
+// Lifetime contract: an *Event handle is valid from scheduling until the
+// kernel disposes of the event — immediately after its callback returns,
+// or when a canceled event is discarded from the calendar. The kernel
+// then recycles the Event into a free list, so holding (or Canceling) a
+// handle past that point is a model bug. The two cancellation sites in
+// the tree (resource rescheduling, NVMe completion timers) both cancel
+// only still-pending events or self-cancel inside the event's own
+// callback, which the contract permits.
 type Event struct {
 	at       Time
 	seq      uint64
 	name     string
 	fn       func()
 	canceled bool
-	index    int // heap index, -1 once popped
 }
 
 // At reports the simulated time the event is scheduled for.
@@ -48,33 +55,57 @@ func (e *Event) Cancel() { e.canceled = true }
 // Canceled reports whether Cancel has been called on the event.
 func (e *Event) Canceled() bool { return e.canceled }
 
+// eventHeap is a binary min-heap over (at, seq) with typed push/pop —
+// container/heap would route every operation through interface{} values
+// and indirect method calls, which the schedule/fire path is hot enough
+// to feel. Only the kernel touches it, so the specialized form stays
+// small: sift-up on push, sift-down on pop.
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
+
+func (h *eventHeap) push(e *Event) {
 	*h = append(*h, e)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !eventLess(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) pop() *Event {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s[n] = nil
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && eventLess(s[l], s[small]) {
+			small = l
+		}
+		if r < n && eventLess(s[r], s[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	return top
 }
 
 // Sim is a discrete-event simulator instance. The zero value is not ready
@@ -83,6 +114,11 @@ type Sim struct {
 	now    Time
 	seq    uint64
 	events eventHeap
+	// free recycles Event structs: a long run schedules millions of
+	// events but holds only a calendar's worth live, so reuse drops the
+	// kernel's steady-state allocation rate to zero (see the Event
+	// lifetime contract).
+	free []*Event
 	// Tracer, if non-nil, receives a line for every fired event when
 	// tracing is enabled via SetTracer.
 	tracer func(t Time, msg string)
@@ -139,10 +175,26 @@ func (s *Sim) AtNamed(t Time, name string, fn func()) *Event {
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", t))
 	}
-	e := &Event{at: t, seq: s.seq, name: name, fn: fn}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		*e = Event{at: t, seq: s.seq, name: name, fn: fn}
+	} else {
+		e = &Event{at: t, seq: s.seq, name: name, fn: fn}
+	}
 	s.seq++
-	heap.Push(&s.events, e)
+	s.events.push(e)
 	return e
+}
+
+// recycle returns a disposed event to the free list. The callback
+// reference is dropped eagerly so the free list never pins closures (and
+// whatever they capture) across runs.
+func (s *Sim) recycle(e *Event) {
+	e.fn = nil
+	s.free = append(s.free, e)
 }
 
 // After schedules fn to run d seconds from now. Negative d panics.
@@ -162,8 +214,9 @@ func (s *Sim) Pending() int { return len(s.events) }
 // clock to its time. It returns false when no events remain.
 func (s *Sim) Step() bool {
 	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(*Event)
+		e := s.events.pop()
 		if e.canceled {
+			s.recycle(e)
 			continue
 		}
 		s.now = e.at
@@ -176,6 +229,7 @@ func (s *Sim) Step() bool {
 			s.tracer(s.now, msg)
 		}
 		e.fn()
+		s.recycle(e)
 		return true
 	}
 	return false
@@ -195,7 +249,7 @@ func (s *Sim) RunUntil(t Time) {
 		idx := -1
 		for len(s.events) > 0 {
 			if s.events[0].canceled {
-				heap.Pop(&s.events)
+				s.recycle(s.events.pop())
 				continue
 			}
 			idx = 0

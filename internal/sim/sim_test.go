@@ -307,3 +307,45 @@ func TestLinkStats(t *testing.T) {
 		t.Errorf("utilization %v, want ~1 (wire always busy)", u)
 	}
 }
+
+// TestEventRecycling pins the free-list mechanics behind the kernel's
+// zero-alloc steady state: fired and canceled events return to the free
+// list with their callback dropped (so the list never pins closures),
+// and a subsequent schedule reuses the same struct.
+func TestEventRecycling(t *testing.T) {
+	s := New()
+	e1 := s.After(1, func() {})
+	s.Run()
+	if len(s.free) != 1 || s.free[0] != e1 {
+		t.Fatalf("after firing, free list = %v, want the fired event", s.free)
+	}
+	if e1.fn != nil {
+		t.Error("recycled event still holds its callback")
+	}
+
+	e2 := s.After(1, func() {})
+	if e2 != e1 {
+		t.Error("schedule after recycle allocated a fresh Event instead of reusing the free one")
+	}
+	e2.Cancel()
+	s.Run()
+	if len(s.free) != 1 || s.free[0] != e2 {
+		t.Fatalf("canceled event was not recycled; free list = %v", s.free)
+	}
+}
+
+// TestSteadyStateAllocFree pins the headline: once the free list is
+// primed, schedule+fire allocates nothing.
+func TestSteadyStateAllocFree(t *testing.T) {
+	s := New()
+	fn := func() {}
+	s.After(1, fn) // prime the free list
+	s.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		s.After(1, fn)
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state schedule+fire allocates %.1f objects/op, want 0", allocs)
+	}
+}
