@@ -6,7 +6,7 @@
 // Usage:
 //
 //	activego -workload tpch-6 [-scalediv N] [-seed S] [-availability F] [-no-migration]
-//	         [-trace out.json] [-tracesummary] [-metrics out.json]
+//	         [-resilience] [-trace out.json] [-tracesummary] [-metrics out.json]
 //	         [-pprof cpu.pb] [-memprofile mem.pb]
 //	activego -list
 //	activego vet program.apy...          # static analysis / lint
@@ -25,6 +25,7 @@ import (
 	"activego/internal/core"
 	"activego/internal/platform"
 	"activego/internal/profile"
+	"activego/internal/resilience"
 	"activego/internal/workloads"
 )
 
@@ -38,6 +39,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "generator seed")
 	avail := flag.Float64("availability", 1.0, "fraction of CSE time available (0,1]")
 	noMigration := flag.Bool("no-migration", false, "disable dynamic task migration")
+	withResilience := flag.Bool("resilience", false, "arm the full degradation ladder (deadlines, backoff, circuit breaker) on the offload path")
 	showProfile := flag.Bool("profile", false, "print the sampling-phase curve fits per line")
 	obs := cliutil.Register(flag.CommandLine)
 	flag.Parse()
@@ -78,6 +80,10 @@ func main() {
 	cfg := core.DefaultConfig()
 	cfg.Migration = !*noMigration
 	cfg.OverheadScale = params.OverheadScale()
+	if *withResilience {
+		pol := resilience.Default(uint64(*seed))
+		cfg.Resilience = &pol
+	}
 
 	fmt.Printf("workload %s: %s (%.1f MB input, paper: %.1f GB)\n",
 		spec.Name, spec.Description,
@@ -102,6 +108,11 @@ func main() {
 	}
 	fmt.Printf("activepy: %.4f ms (migrated=%v, %d CSD / %d host line executions)\n",
 		out.Exec.Duration*1e3, out.Exec.Migrated, out.Exec.RecordsOnCSD, out.Exec.RecordsOnHost)
+	if *withResilience {
+		fmt.Printf("resilience: %d breaker opens / %d closes / %d probes, %d degraded lines, %d deadline misses\n",
+			out.Exec.BreakerOpens, out.Exec.BreakerCloses, out.Exec.BreakerProbes,
+			out.Exec.DegradedLines, out.Exec.DeadlineMisses)
+	}
 
 	p.FoldMetrics(obs.Registry())
 	if err := obs.Finish(os.Stdout); err != nil {

@@ -40,7 +40,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, fig2, fig4, fig5, accuracy, runtimeopt, robustness, utilization")
+	exp := flag.String("exp", "all", "experiment: all, table1, fig2, fig4, fig5, accuracy, runtimeopt, robustness, resilience, utilization")
+	chaosN := flag.Int("chaos", 0, "run N extra randomized chaos fault schedules after the resilience experiment (0 = just the built-in sub-run)")
+	chaosSeed := flag.Uint64("chaos-seed", experiments.ResilienceSeed, "seed for the -chaos schedule sweep")
 	scaleDiv := flag.Int64("scalediv", 512, "divide Table I input sizes by this factor")
 	seed := flag.Int64("seed", 42, "generator seed")
 	outDir := flag.String("outdir", "", "write one BENCH_<exp>.json benchmark manifest per experiment into this directory")
@@ -129,6 +131,18 @@ func main() {
 			fmt.Fprint(out, tbl.String())
 			return res.Bench(params), nil
 		},
+		"resilience": func(mopts []experiments.Option, sub *metrics.Registry, out io.Writer) (*bench.Manifest, error) {
+			res, tbl, err := experiments.Resilience(params, mopts...)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprint(out, tbl.String())
+			if res.Chaos != nil {
+				fmt.Fprintln(out, res.Chaos.Summary())
+			}
+			metrics.ObserveRecording(sub, res.Rec)
+			return res.Bench(params), nil
+		},
 		"utilization": func(mopts []experiments.Option, sub *metrics.Registry, out io.Writer) (*bench.Manifest, error) {
 			u, tbl, err := experiments.Utilization(params, mopts...)
 			if err != nil {
@@ -160,7 +174,7 @@ func main() {
 			return u.Bench(params), nil
 		},
 	}
-	order := []string{"table1", "fig2", "fig4", "fig5", "accuracy", "runtimeopt", "robustness", "utilization"}
+	order := []string{"table1", "fig2", "fig4", "fig5", "accuracy", "runtimeopt", "robustness", "resilience", "utilization"}
 
 	names := order
 	if *exp != "all" {
@@ -224,9 +238,31 @@ func main() {
 			fmt.Println()
 		}
 	}
+	if *chaosN > 0 {
+		rep, err := experiments.ChaosSweep(params, *chaosSeed, *chaosN, chaosOpts(reg, pool)...)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep.Summary())
+		if !rep.Ok() {
+			fail(fmt.Errorf("chaos sweep violated an invariant"))
+		}
+	}
 	if err := obs.Finish(os.Stdout); err != nil {
 		fail(err)
 	}
+}
+
+// chaosOpts forwards the suite's observability to the -chaos sweep.
+func chaosOpts(reg *metrics.Registry, pool *par.Pool) []experiments.Option {
+	var opts []experiments.Option
+	if reg != nil {
+		opts = append(opts, experiments.WithMetrics(reg))
+	}
+	if pool != nil {
+		opts = append(opts, experiments.WithPool(pool))
+	}
+	return opts
 }
 
 // runCompare implements the CI gate: load two manifests, diff them, and

@@ -10,7 +10,8 @@
 //	       [-fault-rate F] [-fault-seed N] [-retry-timeout S]
 //	       [-trace out.json] [-tracesummary] [-metrics out.json]
 //	       [-pprof cpu.pb] [-memprofile mem.pb]
-//	csdsim -lint program.apy...   # static-analysis lint, no simulation
+//	csdsim -chaos N [-chaos-seed S]  # N randomized device-level fault schedules
+//	csdsim -lint program.apy...      # static-analysis lint, no simulation
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"os"
 
 	"activego/internal/analysis"
+	"activego/internal/chaos"
 	"activego/internal/cliutil"
 	"activego/internal/csd"
 	"activego/internal/fault"
@@ -36,11 +38,16 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "per-roll probability of NVMe completion drops and transient flash errors")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault plan seed (same seed + same flags = identical run)")
 	retryTimeout := flag.Float64("retry-timeout", 0.05, "host completion timer, seconds (with -fault-rate > 0)")
+	chaosN := flag.Int("chaos", 0, "run N randomized device-level fault schedules instead of the benchmark")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the -chaos schedule sweep")
 	obs := cliutil.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *lint {
 		os.Exit(runLint(flag.Args()))
+	}
+	if *chaosN > 0 {
+		os.Exit(runDeviceChaos(*chaosN, *chaosSeed, *retryTimeout))
 	}
 
 	if err := obs.Start(); err != nil {
@@ -131,6 +138,68 @@ func main() {
 		fmt.Fprintln(os.Stderr, "csdsim:", err)
 		os.Exit(1)
 	}
+}
+
+// runDeviceChaos is the -chaos mode: N randomized seeded fault
+// schedules (the same generator the chaos harness sweeps) driven
+// against the bare device — a streaming read plus a batch of CSD calls
+// per schedule, with the host retry machinery armed. The invariant is
+// the device-level half of the chaos contract: every submitted command
+// reaches a completion (OK or a real error status — never a hang) and
+// the calendar drains. Exit 1 if any schedule violates it.
+func runDeviceChaos(n int, seed uint64, retryTimeout float64) int {
+	params := chaos.ScheduleParams{MaxRate: 0.7, Horizon: 10 * retryTimeout}
+	retry := nvme.RetryPolicy{Timeout: retryTimeout, MaxAttempts: 3, Backoff: retryTimeout / 8}
+	const readMB, nCalls = 2, 4
+	violations, faulted := 0, 0
+	for i := 0; i < n; i++ {
+		rules := chaos.Schedule(seed, i, params)
+		plan, err := fault.NewPlanChecked(fault.Mix64(seed^uint64(i)), rules...)
+		if err != nil {
+			fmt.Printf("schedule %3d: VIOLATION: generator emitted invalid rules: %v\n", i, err)
+			violations++
+			continue
+		}
+		p := platform.Default()
+		p.InstallFaults(plan, retry)
+		obj := "chaos-object"
+		p.Dev.Store.Preload(obj, readMB<<20)
+		want := 1 + nCalls
+		completed, failedStatus := 0, 0
+		note := func(c nvme.Completion) {
+			completed++
+			if c.Status != 0 {
+				failedStatus++
+			}
+		}
+		p.Host.ReadObject(p.Dev, obj, 0, readMB<<20, note)
+		for k := 0; k < nCalls; k++ {
+			p.Host.Call(p.Dev, csd.Call(func(d *csd.Device, finish func(uint16, any)) {
+				d.CSE.Submit(1e6, func(_, _ sim.Time) { finish(0, nil) })
+			}), note)
+		}
+		p.Sim.Run()
+		resets, stalls := p.Dev.FaultStats()
+		timeouts, _, _, _, _ := p.Dev.QP.FaultStats()
+		switch {
+		case completed != want:
+			fmt.Printf("schedule %3d: VIOLATION: %d/%d commands completed (%d rules, dark until t=%.3fms)\n",
+				i, completed, want, len(rules), p.Dev.ResetUntil()*1e3)
+			violations++
+		case p.Drained() != nil:
+			fmt.Printf("schedule %3d: VIOLATION: %v\n", i, p.Drained())
+			violations++
+		default:
+			if failedStatus > 0 || timeouts > 0 || resets > 0 || stalls > 0 {
+				faulted++
+			}
+		}
+	}
+	fmt.Printf("chaos: %d device schedules, %d with observable faults, %d violations\n", n, faulted, violations)
+	if violations > 0 {
+		return 1
+	}
+	return 0
 }
 
 // runLint is the -lint mode: same rule catalogue and output shape as

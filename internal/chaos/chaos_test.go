@@ -1,0 +1,178 @@
+package chaos
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"activego/internal/codegen"
+	"activego/internal/exec"
+	"activego/internal/fault"
+	"activego/internal/inputs"
+	"activego/internal/lang/interp"
+	"activego/internal/lang/parser"
+	"activego/internal/lang/value"
+	"activego/internal/nvme"
+	"activego/internal/par"
+	"activego/internal/platform"
+	"activego/internal/resilience"
+)
+
+// chaosTrace builds a small three-line program trace: a storage load, a
+// compute line, and a reduction — one record per failure surface.
+func chaosTrace(t testing.TB, n int) *interp.Trace {
+	t.Helper()
+	reg := inputs.NewRegistry()
+	reg.Add("v", value.NewVec(make([]float64, n)), inputs.ModeRows)
+	prog, err := parser.Parse("v = load(\"v\")\nw = vmul(v, 2.0)\ns = vsum(w)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := interp.Run(prog, reg.Context(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// chaosConfig is the shared sweep configuration: a generous deadline and
+// retry budget so most schedules recover, stalls sized to straddle the
+// timeout, and scaled-down overheads. MaxRate reaches 1.0 so the tail of
+// the sweep — near-certain uncorrectable flash errors — exhausts every
+// rung of the ladder and exercises the typed shed path.
+func chaosConfig(t testing.TB, schedules int, pool *par.Pool) Config {
+	t.Helper()
+	return Config{
+		Seed:      1,
+		Schedules: schedules,
+		Trace:     chaosTrace(t, 1<<12),
+		Partition: codegen.NewPartition(1, 2, 3),
+		Backend:   codegen.Native,
+		Policy: resilience.Policy{
+			LineDeadline: 20e-3,
+			LineRetries:  2,
+			Backoff:      resilience.Backoff{Base: 1e-4, Factor: 2, Cap: 2e-3, Jitter: 0.25, Seed: 1},
+			Breaker:      resilience.BreakerPolicy{Threshold: 3, Cooldown: 5e-3},
+		},
+		Retry:         nvme.RetryPolicy{Timeout: 5e-3, MaxAttempts: 2, Backoff: 5e-4},
+		OverheadScale: 1e-6,
+		Params:        ScheduleParams{MaxRate: 1.0},
+		Pool:          pool,
+	}
+}
+
+// The chaos acceptance bar: a thousand seeded random fault schedules,
+// every one terminating with a correct result or a typed clean failure —
+// no violations, and the zero-fault schedule bit-identical to clean.
+func TestChaos1000SchedulesHoldInvariants(t *testing.T) {
+	n := 1000
+	if testing.Short() {
+		n = 100
+	}
+	rep, err := Run(chaosConfig(t, n, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.CleanMatch {
+		t.Error("zero-fault armed schedule diverged from the clean run")
+	}
+	for i, v := range rep.Violations {
+		if i == 5 {
+			t.Errorf("... and %d more violations", len(rep.Violations)-5)
+			break
+		}
+		t.Errorf("schedule %d (seed %#x, %d rules): %s", v.Index, v.Seed, v.Rules, v.Detail)
+	}
+	if rep.Completed+rep.CleanFailures != rep.Schedules-len(rep.Violations) {
+		t.Errorf("outcome counts inconsistent: %+v", rep)
+	}
+	if rep.Completed == 0 {
+		t.Error("no schedule completed — the sweep is not exercising recovery")
+	}
+	if rep.CleanFailures == 0 {
+		t.Error("no schedule shed cleanly — the sweep is not reaching the last rung")
+	}
+	t.Log(rep.Summary())
+}
+
+// The generator is pure: same (seed, index, params) — same rules; and
+// every generated schedule must pass fault.Validate (the harness treats
+// an invalid schedule as a violation, so this pins the contract).
+func TestScheduleGeneratorPureAndValid(t *testing.T) {
+	params := ScheduleParams{MaxRate: 0.6, Horizon: 1e-3}
+	for i := 0; i < 500; i++ {
+		a := Schedule(42, i, params)
+		b := Schedule(42, i, params)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("schedule %d not reproducible:\n%+v\n%+v", i, a, b)
+		}
+		if err := fault.Validate(a...); err != nil {
+			t.Fatalf("schedule %d invalid: %v\nrules %+v", i, err, a)
+		}
+	}
+	// Different indices must not collapse onto one schedule.
+	if reflect.DeepEqual(Schedule(42, 1, params), Schedule(42, 2, params)) {
+		t.Error("adjacent indices generated identical schedules")
+	}
+}
+
+// Satellite: the whole chaos report — every per-schedule verdict — must
+// be byte-identical at -j 1 and -j 8. The sweep fans out over the pool;
+// determinism of the aggregate is the parallel layer's contract.
+func TestResilienceParallelInvariance(t *testing.T) {
+	n := 64
+	serial, err := Run(chaosConfig(t, n, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(chaosConfig(t, n, par.New(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("chaos report differs between -j1 and -j8:\nserial   %+v\nparallel %+v", serial, parallel)
+	}
+}
+
+// FuzzFaultSchedule drives arbitrary rule fields through the validator
+// and, when a plan is accepted, through a tiny resilient run: NewPlan
+// must never panic on validated input, and every accepted plan must
+// terminate the run cleanly (completed, shed, or typed error — the
+// harness classifies; a panic fails the fuzz).
+func FuzzFaultSchedule(f *testing.F) {
+	f.Add(uint64(1), 0.5, 0.0, 0.0, 1e-3, 2, int64(1))
+	f.Add(uint64(7), 1.0, 1e-4, 5e-4, 0.0, 0, int64(0))
+	f.Add(uint64(9), 0.0, -1.0, 0.0, -1e-3, -1, int64(2))
+	tr := chaosTrace(f, 1<<8)
+	f.Fuzz(func(t *testing.T, seed uint64, rate, start, end, duration float64, maxCount int, ptRaw int64) {
+		pt := fault.Point(((ptRaw % 5) + 5) % 5) // stochastic points only
+		rule := fault.Rule{
+			Point: pt, Rate: rate, Start: start, End: end,
+			Duration: duration, MaxCount: maxCount,
+		}
+		plan, err := fault.NewPlanChecked(seed, rule)
+		if err != nil {
+			return // rejected with a typed error: exactly the contract
+		}
+		cfg := chaosConfig(t, 0, nil)
+		cfg.Trace = tr
+		pol := cfg.Policy
+		pol.Backoff.Seed = seed
+		p := platform.Default()
+		p.InstallFaults(plan, cfg.Retry)
+		res, rerr := exec.Run(p, tr, exec.Options{
+			Backend: cfg.Backend, Partition: cfg.Partition,
+			UseCallQueue: true, OverheadScale: cfg.OverheadScale, Resilience: &pol,
+		})
+		if rerr != nil {
+			var shed *resilience.ShedError
+			if !errors.As(rerr, &shed) {
+				t.Fatalf("untyped failure: %v", rerr)
+			}
+			return
+		}
+		if got, want := res.RecordsOnCSD+res.RecordsOnHost, len(tr.Records); got != want {
+			t.Fatalf("lost records: %d of %d", got, want)
+		}
+	})
+}

@@ -35,6 +35,7 @@ import (
 	"activego/internal/plan"
 	"activego/internal/platform"
 	"activego/internal/profile"
+	"activego/internal/resilience"
 )
 
 // SamplingOverhead is the one-time latency of the sampling phase; with
@@ -52,6 +53,10 @@ type Config struct {
 	// regeneration); zero means 1. Harnesses running 1/N-scale datasets
 	// pass 1/N so overhead-to-runtime ratios match the paper's.
 	OverheadScale float64
+	// Resilience, when non-nil, arms the full degradation ladder on the
+	// offload path (deadlines, backoff re-posts, circuit breaker, typed
+	// shed) — see internal/resilience and DESIGN.md §12.
+	Resilience *resilience.Policy
 }
 
 // DefaultConfig is the full-fledged ActivePy runtime.
@@ -232,6 +237,7 @@ func (rt *Runtime) execute(prog *ast.Program, static *analysis.Report, report *p
 		OverheadScale:    cfg.OverheadScale,
 		UseCallQueue:     cfg.UseCallQueue,
 		Analysis:         static,
+		Resilience:       cfg.Resilience,
 		Metrics:          rt.Metrics,
 	})
 	stop()

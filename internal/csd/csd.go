@@ -234,6 +234,11 @@ func (d *Device) InstallFaults(plan *fault.Plan) {
 // performed and injected CSE stalls.
 func (d *Device) FaultStats() (resets, stalls uint64) { return d.resets, d.stalls }
 
+// ResetUntil reports when the latest controller reset window closes —
+// zero if the device never went dark. Chaos tooling prints it to show
+// how much of a schedule's wall time the device spent resetting.
+func (d *Device) ResetUntil() sim.Time { return d.resetUntil }
+
 // SetAvailability changes the fraction of CSE time this simulation's jobs
 // receive; Figure 2's x-axis is exactly this knob (compute contention
 // only — the paper emulates "changes of computing resources").

@@ -33,6 +33,7 @@ import (
 	"activego/internal/nvme"
 	"activego/internal/plan"
 	"activego/internal/platform"
+	"activego/internal/resilience"
 	"activego/internal/sim"
 	"activego/internal/trace"
 )
@@ -122,6 +123,17 @@ type Options struct {
 	// Recovery configures failure-driven degradation; the zero value
 	// turns any line failure into a run error.
 	Recovery RecoveryPolicy
+	// Resilience, when set, supersedes Recovery with the full degradation
+	// ladder of DESIGN.md §12: per-line deadlines enforced by the NVMe
+	// completion timers, budgeted line re-posts under seeded exponential
+	// backoff, a circuit breaker that suspends offload after consecutive
+	// CSD/NVMe faults and re-admits it through a half-open probe, and a
+	// typed *resilience.ShedError when the host rung fails too. Every
+	// breaker redirection is billed through the §III-D migration
+	// machinery (code regeneration up front, lazy data pulls as host
+	// lines touch device-resident variables). Nil leaves the one-shot
+	// Recovery path in charge and costs nothing.
+	Resilience *resilience.Policy
 	// Analysis, when set, gates execution on static verification: Run
 	// refuses a partition that offloads a host-only line or a program
 	// with a use before any definition. Nil skips the gate (traces from
@@ -174,6 +186,13 @@ type Result struct {
 	Retries          uint64 // NVMe command re-issues plus exec-level line re-posts
 	Timeouts         uint64 // NVMe completion-timer expiries observed during the run
 	FailoverMigrated bool   // a CSD failure moved the remaining partition to the host
+
+	// Resilience-ladder accounting (all zero unless Options.Resilience).
+	BreakerOpens   uint64 // breaker transitions to open (offload suspended)
+	BreakerCloses  uint64 // half-open probes that succeeded and re-closed it
+	BreakerProbes  uint64 // half-open probes admitted
+	DegradedLines  uint64 // partition lines run on the host while open
+	DeadlineMisses uint64 // offloaded calls abandoned at their line deadline
 }
 
 type varState struct {
@@ -189,6 +208,7 @@ type executor struct {
 	idx      int
 	varHome  map[string]varState
 	migrated bool
+	breaker  *resilience.Breaker // non-nil iff Options.Resilience is set
 	res      *Result
 	err      error
 
@@ -228,6 +248,12 @@ func Run(p *platform.Platform, trace *interp.Trace, opts Options) (*Result, erro
 		opts:    opts,
 		varHome: make(map[string]varState),
 		res:     &Result{Start: p.Sim.Now()},
+	}
+	if pol := opts.Resilience; pol != nil {
+		if err := pol.Validate(); err != nil {
+			return nil, fmt.Errorf("exec: %w", err)
+		}
+		e.breaker = resilience.NewBreaker(pol.Breaker)
 	}
 	for i := range trace.Records {
 		if opts.Partition.OnCSD(trace.Records[i].Line) {
@@ -303,6 +329,12 @@ func (e *executor) foldMetrics() {
 	if e.res.FailoverMigrated {
 		m.Counter(metrics.MetricExecFailovers).Add(1)
 	}
+	if e.opts.Resilience != nil {
+		m.Counter(metrics.MetricExecBreakerOpens).Add(float64(e.res.BreakerOpens))
+		m.Counter(metrics.MetricExecBreakerCloses).Add(float64(e.res.BreakerCloses))
+		m.Counter(metrics.MetricExecDegradedLines).Add(float64(e.res.DegradedLines))
+		m.Counter(metrics.MetricExecDeadlineMisses).Add(float64(e.res.DeadlineMisses))
+	}
 }
 
 func (e *executor) step() {
@@ -314,8 +346,49 @@ func (e *executor) step() {
 	unit := UnitHost
 	if !e.migrated && e.opts.Partition.OnCSD(rec.Line) {
 		unit = UnitCSD
+		if e.breaker != nil {
+			admit, probe := e.breaker.Allow(e.p.Sim.Now())
+			switch {
+			case !admit:
+				// Breaker open: the line's code was regenerated for the
+				// host when the breaker opened; run it there.
+				unit = UnitHost
+				e.res.DegradedLines++
+			case probe:
+				// Half-open: re-admitting offload is the reverse of the
+				// open redirection and pays the same §III-D bill — the
+				// device-side code is regenerated before the probe runs.
+				e.res.BreakerProbes++
+				e.instant("breaker-probe", rec.Line)
+				e.sampleBreakerState()
+				e.p.Sim.After(e.opts.regenOverhead(), func() { e.dispatch(rec, UnitCSD) })
+				return
+			}
+		}
 	}
 	e.dispatch(rec, unit)
+}
+
+// instant records a resilience-ladder transition on the exec fault lane.
+func (e *executor) instant(name string, line int) {
+	if r := e.p.Sim.Recorder(); r != nil {
+		r.Instant("exec", "fault", name, e.p.Sim.Now(), trace.Arg{Key: "line", Value: line})
+	}
+}
+
+// sampleBreakerState samples the breaker position counter (0 closed,
+// 0.5 half-open, 1 open). Only transitions sample, so a run in which the
+// breaker never moves emits nothing — keeping armed-but-idle runs
+// bit-identical to clean ones.
+func (e *executor) sampleBreakerState() {
+	v := 0.0
+	switch e.breaker.State() {
+	case resilience.BreakerOpen:
+		v = 1
+	case resilience.BreakerHalfOpen:
+		v = 0.5
+	}
+	e.p.Sim.Recorder().Sample(trace.CtrExecBreakerState, "state", "exec", e.p.Sim.Now(), v)
 }
 
 // dispatch runs the current record on unit, routing CSD lines through the
@@ -325,8 +398,14 @@ func (e *executor) dispatch(rec *interp.LineRecord, unit Unit) {
 	if unit == UnitCSD && e.opts.UseCallQueue {
 		// §III-C-b: the host posts the line invocation to the call queue
 		// mapped in device memory; the CSE picks it up, runs it, and the
-		// completion path carries the result notification back.
-		e.p.Host.Call(e.p.Dev, csd.Call(func(_ *csd.Device, done func(uint16, any)) {
+		// completion path carries the result notification back. Under a
+		// resilience policy the call carries a deadline the queue pair's
+		// completion timers enforce.
+		var deadline sim.Time
+		if pol := e.opts.Resilience; pol != nil && pol.LineDeadline > 0 {
+			deadline = e.p.Sim.Now() + pol.LineDeadline
+		}
+		e.p.Host.CallDeadline(e.p.Dev, csd.Call(func(_ *csd.Device, done func(uint16, any)) {
 			e.runRecord(rec, UnitCSD, func(err error) {
 				if err != nil {
 					done(nvme.StatusMediaError, err.Error())
@@ -334,8 +413,11 @@ func (e *executor) dispatch(rec *interp.LineRecord, unit Unit) {
 				}
 				done(0, nil)
 			})
-		}), func(c nvme.Completion) {
+		}), deadline, func(c nvme.Completion) {
 			if c.Status != nvme.StatusOK {
+				if c.Status == nvme.StatusDeadline {
+					e.res.DeadlineMisses++
+				}
 				e.failLine(rec, UnitCSD, fmt.Errorf(
 					"exec: record %d (line %d): CSD call failed with NVMe status %#x (%v)",
 					e.idx, rec.Line, c.Status, c.Value))
@@ -361,6 +443,10 @@ func (e *executor) dispatch(rec *interp.LineRecord, unit Unit) {
 func (e *executor) failLine(rec *interp.LineRecord, unit Unit, cause error) {
 	if unit == UnitCSD {
 		e.res.FailedCalls++
+	}
+	if pol := e.opts.Resilience; pol != nil {
+		e.failLineResilient(rec, unit, cause, pol)
+		return
 	}
 	rp := e.opts.Recovery
 	if !rp.Enabled {
@@ -398,6 +484,50 @@ func (e *executor) failLine(rec *interp.LineRecord, unit Unit, cause error) {
 	e.dispatch(rec, UnitHost)
 }
 
+// failLineResilient walks the failed line down the degradation ladder of
+// DESIGN.md §12. Rung one: re-post on the current unit after a seeded
+// backoff delay, LineRetries times. A CSD failure also feeds the circuit
+// breaker; when it trips, the remaining retries are skipped and the line
+// — and, through the step gate, every following partition line — runs on
+// the host until the cooldown probe re-admits offload, with the
+// redirection billed like a §III-D migration. Rung two: retries
+// exhausted on the CSD without tripping the breaker, the single line
+// falls back to the host (later lines return to the CSD). Rung three:
+// the host rung's budget is spent too — the run ends with a typed
+// *resilience.ShedError, never a silent wrong answer.
+func (e *executor) failLineResilient(rec *interp.LineRecord, unit Unit, cause error, pol *resilience.Policy) {
+	now := e.p.Sim.Now()
+	if unit == UnitCSD && e.breaker != nil && e.breaker.OnFailure(now) {
+		e.res.BreakerOpens++
+		e.instant("breaker-open", rec.Line)
+		e.sampleBreakerState()
+		e.lineAttempts = 0
+		e.p.Sim.After(e.opts.regenOverhead(), func() { e.dispatch(rec, UnitHost) })
+		return
+	}
+	if e.lineAttempts < pol.LineRetries {
+		e.lineAttempts++
+		e.lineRetries++
+		e.instant("line-retry", rec.Line)
+		delay := pol.Backoff.Delay(uint64(e.idx), e.lineAttempts)
+		e.p.Sim.AfterNamed(delay, "resilience-backoff", func() { e.dispatch(rec, unit) })
+		return
+	}
+	if unit == UnitCSD {
+		// Rung two: per-line host fallback. Data stays put; the host line
+		// pulls device-resident variables lazily, as after a migration.
+		e.lineAttempts = 0
+		e.dispatch(rec, UnitHost)
+		return
+	}
+	shed := &resilience.ShedError{Record: e.idx, Line: rec.Line, Attempts: e.lineAttempts + 1, Cause: cause}
+	e.instant("shed", rec.Line)
+	if m := e.opts.Metrics; m != nil {
+		m.Counter(metrics.MetricExecSheds).Add(1)
+	}
+	e.err = shed
+}
+
 // afterRecord finalizes variable placement, runs the monitor, and
 // advances to the next record.
 func (e *executor) afterRecord(rec *interp.LineRecord, unit Unit) {
@@ -415,6 +545,14 @@ func (e *executor) afterRecord(rec *interp.LineRecord, unit Unit) {
 		m.Histogram(name).Observe(e.p.Sim.Now() - e.lineStart)
 	}
 	if unit == UnitCSD {
+		if e.breaker != nil && e.breaker.OnSuccess(e.p.Sim.Now()) {
+			// The half-open probe succeeded: offload is re-admitted.
+			// Recovery is bidirectional — unlike the one-shot failover
+			// path, the run returns to the CSD once the device is healthy.
+			e.res.BreakerCloses++
+			e.instant("breaker-close", rec.Line)
+			e.sampleBreakerState()
+		}
 		e.res.RecordsOnCSD++
 		e.doneCSDWork += recordWork(rec)
 		frac := 1.0

@@ -6,12 +6,15 @@ package exec
 // at a line boundary, the only place it ever runs.
 
 import (
+	"reflect"
 	"testing"
 
 	"activego/internal/codegen"
 	"activego/internal/lang/interp"
+	"activego/internal/metrics"
 	"activego/internal/plan"
 	"activego/internal/platform"
+	"activego/internal/sim"
 )
 
 // monitorFixture builds an executor paused at the boundary after record
@@ -149,5 +152,101 @@ func TestMonitorPreemptVacatesWithoutCostModel(t *testing.T) {
 	// Once vacated, further boundaries are no-ops: the task is host-side.
 	if e.monitor() {
 		t.Error("monitor acted again after migrating")
+	}
+}
+
+// Satellite regression: an availability signal that flaps — sag,
+// recover, sag again — must not re-trigger migration. §III-D migration
+// is one-way: after the first move the task is host-side, later
+// boundaries are no-ops regardless of what the rate signal does, and no
+// second regeneration or data pull is ever billed.
+func TestMonitorOscillationMigratesExactlyOnce(t *testing.T) {
+	e := monitorFixture(t, []interp.VarUse{use("x")}, []interp.VarUse{use("x")})
+	if !e.monitor() {
+		t.Fatal("first sag must migrate")
+	}
+	migratedAt := e.res.MigratedAt
+	pending := e.p.Sim.Pending() // the one scheduled regen + advance
+	linkBytes := e.p.Topo.D2H.TotalBytes()
+
+	for cycle := 0; cycle < 8; cycle++ {
+		// Recover fully, then sag twice as deep as the fixture's 50%.
+		e.p.Dev.SetAvailability(1.0)
+		if e.monitor() {
+			t.Fatalf("cycle %d: migrated again on a healthy device", cycle)
+		}
+		e.p.Dev.SetAvailability(0.25)
+		if e.monitor() {
+			t.Fatalf("cycle %d: migrated a second time on the flap's sag", cycle)
+		}
+	}
+
+	if !e.res.Migrated || e.res.MigratedAt != migratedAt {
+		t.Errorf("migration record moved: Migrated=%v MigratedAt=%v want %v",
+			e.res.Migrated, e.res.MigratedAt, migratedAt)
+	}
+	if got := e.p.Sim.Pending(); got != pending {
+		t.Errorf("flap cycles scheduled %d extra events (double regen/advance)", got-pending)
+	}
+	if got := e.p.Topo.D2H.TotalBytes(); got != linkBytes {
+		t.Errorf("flap cycles billed %v extra link bytes", got-linkBytes)
+	}
+}
+
+// Black-box counterpart: a full run under an oscillating co-tenant must
+// report one migration — and adding more flap cycles after the first
+// sag must not change the Result at all (the migrated task runs on the
+// host, deaf to device availability).
+func TestMonitorOscillationRunInvariant(t *testing.T) {
+	tr, part, ests := migrationFixture(t)
+	// Calibrate on permanent stress: when does the cost model tip, and
+	// how long does the migrated run take?
+	cal := platform.Default()
+	cal.Dev.ScheduleStress(1e-9, 0.05, 0)
+	ref, err := Run(cal, tr, Options{
+		Backend: codegen.Native, Partition: part, Estimates: ests,
+		Migration: DefaultMigration(), UseCallQueue: true, OverheadScale: 1e-6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Migrated {
+		t.Fatal("calibration run did not migrate")
+	}
+	// The first sag persists past the migration instant, then recovers
+	// inside the post-migration tail; later flap cycles land in that
+	// tail, where the host-side task no longer measures the device.
+	tail := ref.Duration - ref.MigratedAt
+	first := ref.MigratedAt + tail/4
+	cycle := tail / 8
+
+	run := func(flaps int) *Result {
+		p := platform.Default()
+		p.Dev.ScheduleStress(1e-9, 0.05, first)
+		for i := 1; i < flaps; i++ {
+			p.Dev.ScheduleStress(first+sim.Time(i)*cycle, 0.05, cycle/2)
+		}
+		m := metrics.New()
+		res, err := Run(p, tr, Options{
+			Backend: codegen.Native, Partition: part, Estimates: ests,
+			Migration: DefaultMigration(), UseCallQueue: true, OverheadScale: 1e-6,
+			Metrics: m,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Counter(metrics.MetricExecMigrations).Value(); got != 1 {
+			t.Errorf("%d flaps: %s = %v, want exactly 1", flaps, metrics.MetricExecMigrations, got)
+		}
+		return res
+	}
+
+	one := run(1)
+	if !one.Migrated {
+		t.Fatal("run under stress did not migrate")
+	}
+	many := run(6)
+	if !reflect.DeepEqual(one, many) {
+		t.Errorf("extra flap cycles changed the run:\none  %+v\nmany %+v", one, many)
 	}
 }

@@ -165,6 +165,48 @@ func (r *RobustnessResult) Bench(params workloads.Params) *bench.Manifest {
 	return m
 }
 
+// Bench converts the resilience sweep: all three arms' durations and
+// the breaker's advantage ratios are tracked per (workload, rate) —
+// deterministic simulated quantities, so the gate catches any posture
+// regression. Ladder counters ride as info; the chaos sub-run gates on
+// violations (must stay 0) and the zero-fault differential match.
+func (r *ResilienceResult) Bench(params workloads.Params) *bench.Manifest {
+	m := bench.NewManifest("resilience", params.Seed, params.ScaleDiv)
+	byName := map[string]*bench.Workload{}
+	var order []string
+	for _, row := range r.Rows {
+		w := byName[row.Workload]
+		if w == nil {
+			w = &bench.Workload{Name: row.Workload, Planner: "activepy-optimal"}
+			byName[row.Workload] = w
+			order = append(order, row.Workload)
+		}
+		at := fmt.Sprintf("@%.2f", row.Rate)
+		w.Add("breaker.seconds"+at, row.BreakerDur, "s", bench.LowerIsBetter)
+		w.Add("static.seconds"+at, row.StaticDur, "s", "")
+		w.Add("oneshot.seconds"+at, row.OneshotDur, "s", "")
+		w.Add("vs.static"+at, row.VsStatic, "x", bench.HigherIsBetter)
+		w.Add("vs.oneshot"+at, row.VsOneshot, "x", "")
+		w.Add("completed"+at, boolVal(row.Completed), "", bench.HigherIsBetter)
+		w.Add("breaker.opens"+at, float64(row.BreakerOpens), "", "")
+		w.Add("breaker.closes"+at, float64(row.BreakerCloses), "", "")
+		w.Add("degraded.lines"+at, float64(row.DegradedLines), "", "")
+	}
+	for _, name := range order {
+		m.Workloads = append(m.Workloads, *byName[name])
+	}
+	if r.Chaos != nil {
+		w := bench.Workload{Name: "CHAOS"}
+		w.Add("schedules", float64(r.Chaos.Schedules), "", "")
+		w.Add("completed", float64(r.Chaos.Completed), "", "")
+		w.Add("clean.failures", float64(r.Chaos.CleanFailures), "", "")
+		w.Add("violations", float64(len(r.Chaos.Violations)), "", bench.LowerIsBetter)
+		w.Add("clean.match", boolVal(r.Chaos.CleanMatch), "", bench.HigherIsBetter)
+		m.Workloads = append(m.Workloads, w)
+	}
+	return m
+}
+
 // Bench converts the utilization study: both traced runs' durations are
 // tracked, and the stressed run must keep migrating.
 func (u *UtilizationResult) Bench(params workloads.Params) *bench.Manifest {

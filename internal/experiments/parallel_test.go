@@ -88,6 +88,37 @@ func TestParallelInvariance(t *testing.T) {
 		t.Errorf("fig2 metrics snapshot differs under the pool:\nserial:   %+v\nparallel: %+v", s, p)
 	}
 
+	// Resilience sweep: rows, chaos report (its own fan-out rides the
+	// pool), manifest, and the breaker arm's trace JSON.
+	serialR, _, err := Resilience(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parR, _, err := Resilience(testParams(), WithPool(pool))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serialR.Rows, parR.Rows) {
+		t.Errorf("resilience rows differ under the pool:\nserial:   %+v\nparallel: %+v", serialR.Rows, parR.Rows)
+	}
+	if !reflect.DeepEqual(serialR.Chaos, parR.Chaos) {
+		t.Errorf("chaos report differs under the pool:\nserial:   %+v\nparallel: %+v", serialR.Chaos, parR.Chaos)
+	}
+	if !reflect.DeepEqual(serialR.Bench(testParams()), parR.Bench(testParams())) {
+		t.Error("resilience manifest differs under the pool")
+	}
+	var serialRJSON, parRJSON bytes.Buffer
+	if err := serialR.Rec.WriteChrome(&serialRJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := parR.Rec.WriteChrome(&parRJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialRJSON.Bytes(), parRJSON.Bytes()) {
+		t.Errorf("resilience trace JSON differs under the pool (%d vs %d bytes)",
+			serialRJSON.Len(), parRJSON.Len())
+	}
+
 	// Trace JSON: the utilization study records full timelines.
 	serialU, _, err := Utilization(testParams())
 	if err != nil {

@@ -110,25 +110,98 @@ type Plan struct {
 	rec *trace.Recorder // optional: receives one instant per injection
 }
 
-// NewPlan builds a plan from a seed and rules. Invalid rules panic: fault
-// plans are experiment configuration, and a typo'd rate must not be
-// silently clamped into a different experiment.
-func NewPlan(seed uint64, rules ...Rule) *Plan {
+// RuleError reports one invalid rule in a plan under construction. Fault
+// plans are experiment configuration; a typo'd rate must surface as a
+// typed error (or a panic, via NewPlan), never be silently clamped or
+// composed into a different experiment.
+type RuleError struct {
+	Index  int   // position of the offending rule in the argument list
+	Point  Point // the rule's injection point
+	Reason string
+}
+
+func (e *RuleError) Error() string {
+	return fmt.Sprintf("fault: rule %d (%v): %s", e.Index, e.Point, e.Reason)
+}
+
+// Validate checks a rule set without building a plan. It rejects, with a
+// typed *RuleError: unknown points, rates outside [0,1] (including NaN),
+// negative or NaN counts/durations/instants, inverted windows,
+// zero-duration DeviceReset rules (a reset that goes dark for no time is
+// a configuration typo, not a fault), and two rules for the same rolled
+// point whose active windows overlap — overlapping rules silently
+// compose into a combined rate, which is never what the experiment
+// meant. DeviceReset rules are scheduled rather than rolled, so several
+// of them may coexist; disjoint-windowed rules for one point (e.g. one
+// rule per fault burst) are also legal.
+func Validate(rules ...Rule) error {
 	for i, r := range rules {
 		if r.Point < 0 || r.Point >= numPoints {
-			panic(fmt.Sprintf("fault: rule %d: unknown point %d", i, r.Point))
+			return &RuleError{Index: i, Point: r.Point, Reason: fmt.Sprintf("unknown point %d", int(r.Point))}
 		}
 		if r.Rate < 0 || r.Rate > 1 || math.IsNaN(r.Rate) {
-			panic(fmt.Sprintf("fault: rule %d (%v): rate %v out of [0,1]", i, r.Point, r.Rate))
+			return &RuleError{Index: i, Point: r.Point, Reason: fmt.Sprintf("rate %v out of [0,1]", r.Rate)}
 		}
-		if r.MaxCount < 0 || r.Duration < 0 {
-			panic(fmt.Sprintf("fault: rule %d (%v): negative MaxCount/Duration", i, r.Point))
+		if r.MaxCount < 0 || r.Duration < 0 || math.IsNaN(r.Duration) {
+			return &RuleError{Index: i, Point: r.Point, Reason: "negative MaxCount/Duration"}
+		}
+		if math.IsNaN(r.Start) || math.IsNaN(r.End) || math.IsNaN(r.At) {
+			return &RuleError{Index: i, Point: r.Point, Reason: "NaN window/instant"}
 		}
 		if r.End != 0 && r.End < r.Start {
-			panic(fmt.Sprintf("fault: rule %d (%v): window [%v,%v) inverted", i, r.Point, r.Start, r.End))
+			return &RuleError{Index: i, Point: r.Point, Reason: fmt.Sprintf("window [%v,%v) inverted", r.Start, r.End)}
+		}
+		if r.Point == DeviceReset && r.Duration == 0 {
+			return &RuleError{Index: i, Point: r.Point, Reason: "zero-duration reset (a reset must go dark for a positive Duration)"}
+		}
+		if r.Point == DeviceReset {
+			continue
+		}
+		for j := 0; j < i; j++ {
+			o := rules[j]
+			if o.Point != r.Point {
+				continue
+			}
+			if windowsOverlap(o, r) {
+				return &RuleError{Index: i, Point: r.Point,
+					Reason: fmt.Sprintf("duplicate rule for the same point (rule %d is active over an overlapping window); overlapping rules silently compose", j)}
+			}
 		}
 	}
-	return &Plan{seed: seed, rules: append([]Rule(nil), rules...), fired: make([]int, len(rules))}
+	return nil
+}
+
+// windowsOverlap reports whether two rules' active windows intersect.
+// End == 0 means unbounded above.
+func windowsOverlap(a, b Rule) bool {
+	aEnd, bEnd := a.End, b.End
+	if aEnd == 0 {
+		aEnd = math.Inf(1)
+	}
+	if bEnd == 0 {
+		bEnd = math.Inf(1)
+	}
+	return a.Start < bEnd && b.Start < aEnd
+}
+
+// NewPlan builds a plan from a seed and rules. Invalid rules panic with
+// the corresponding *RuleError's message; use NewPlanChecked where the
+// rules come from untrusted or generated input.
+func NewPlan(seed uint64, rules ...Rule) *Plan {
+	p, err := NewPlanChecked(seed, rules...)
+	if err != nil {
+		panic(err.Error())
+	}
+	return p
+}
+
+// NewPlanChecked builds a plan from a seed and rules, returning a typed
+// *RuleError instead of panicking when a rule is invalid.
+func NewPlanChecked(seed uint64, rules ...Rule) (*Plan, error) {
+	if err := Validate(rules...); err != nil {
+		return nil, err
+	}
+	return &Plan{seed: seed, rules: append([]Rule(nil), rules...), fired: make([]int, len(rules))}, nil
 }
 
 // SetRecorder attaches a trace recorder; every injected fault is then
@@ -150,10 +223,13 @@ func (p *Plan) Seed() uint64 {
 	return p.seed
 }
 
-// splitmix64 is the finalizer of the SplitMix64 generator: a cheap,
+// Mix64 is the finalizer of the SplitMix64 generator: a cheap,
 // well-mixed 64-bit hash. Each injection decision hashes its inputs
-// independently, so decisions never share stream state.
-func splitmix64(x uint64) uint64 {
+// independently, so decisions never share stream state. It is exported
+// because the resilience backoff jitter and the chaos schedule generator
+// reuse the same hash-per-decision discipline (same seed, bit-identical
+// schedule, no hidden stream coupling between components).
+func Mix64(x uint64) uint64 {
 	x += 0x9E3779B97F4A7C15
 	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
 	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
@@ -166,9 +242,9 @@ func splitmix64(x uint64) uint64 {
 func (p *Plan) roll(pt Point, now sim.Time) float64 {
 	s := p.seq[pt]
 	p.seq[pt]++
-	h := splitmix64(p.seed ^ uint64(pt)<<56)
-	h = splitmix64(h ^ s)
-	h = splitmix64(h ^ math.Float64bits(now))
+	h := Mix64(p.seed ^ uint64(pt)<<56)
+	h = Mix64(h ^ s)
+	h = Mix64(h ^ math.Float64bits(now))
 	return float64(h>>11) / (1 << 53)
 }
 

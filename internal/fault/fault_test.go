@@ -1,6 +1,10 @@
 package fault
 
-import "testing"
+import (
+	"errors"
+	"math"
+	"testing"
+)
 
 func TestNilPlanInjectsNothing(t *testing.T) {
 	var p *Plan
@@ -157,6 +161,91 @@ func TestPointStrings(t *testing.T) {
 	} {
 		if pt.String() != want {
 			t.Errorf("%d: %q", pt, pt.String())
+		}
+	}
+}
+
+// Each invalid rule class must be rejected by Validate/NewPlanChecked
+// with a typed *RuleError naming the offending rule — never silently
+// clamped or composed.
+func TestValidateRejectsWithTypedError(t *testing.T) {
+	cases := map[string][]Rule{
+		"negative rate":     {{Point: NVMeCommandLoss, Rate: -0.1}},
+		"rate above one":    {{Point: NVMeCommandLoss, Rate: 1.5}},
+		"NaN rate":          {{Point: FlashTransient, Rate: math.NaN()}},
+		"negative count":    {{Point: NVMeCommandLoss, MaxCount: -1}},
+		"negative duration": {{Point: CSEStall, Rate: 1, Duration: -1e-3}},
+		"NaN duration":      {{Point: CSEStall, Rate: 1, Duration: math.NaN()}},
+		"NaN window":        {{Point: NVMeCommandLoss, Rate: 1, Start: math.NaN()}},
+		"inverted window":   {{Point: NVMeCommandLoss, Rate: 1, Start: 2, End: 1}},
+		"unknown point":     {{Point: Point(99)}},
+		"zero-duration reset": {
+			{Point: DeviceReset, At: 0.5},
+		},
+		"duplicate unbounded rules": {
+			{Point: NVMeCompletionDrop, Rate: 0.1},
+			{Point: NVMeCompletionDrop, Rate: 0.2},
+		},
+		"duplicate overlapping windows": {
+			{Point: CSEStall, Rate: 0.1, Start: 0, End: 2, Duration: 1e-3},
+			{Point: CSEStall, Rate: 0.2, Start: 1, End: 3, Duration: 1e-3},
+		},
+		"duplicate window inside unbounded": {
+			{Point: FlashUncorrectable, Rate: 0.1},
+			{Point: FlashUncorrectable, Rate: 0.2, Start: 1, End: 2},
+		},
+	}
+	for name, rules := range cases {
+		err := Validate(rules...)
+		if err == nil {
+			t.Errorf("%s: Validate accepted an invalid rule set", name)
+			continue
+		}
+		var re *RuleError
+		if !errors.As(err, &re) {
+			t.Errorf("%s: error %T is not a *RuleError", name, err)
+		}
+		if p, err := NewPlanChecked(1, rules...); err == nil || p != nil {
+			t.Errorf("%s: NewPlanChecked accepted an invalid rule set", name)
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: NewPlan did not panic", name)
+				}
+			}()
+			NewPlan(1, rules...)
+		}()
+	}
+}
+
+// Disjoint windows for one rolled point model per-burst fault rules and
+// must stay legal, as must multiple scheduled resets.
+func TestValidateAcceptsDisjointWindows(t *testing.T) {
+	err := Validate(
+		Rule{Point: CSEStall, Rate: 0.5, Start: 0, End: 1, Duration: 1e-3},
+		Rule{Point: CSEStall, Rate: 0.5, Start: 1, End: 2, Duration: 1e-3},
+		Rule{Point: NVMeCompletionDrop, Rate: 0.5, Start: 2, End: 3},
+		Rule{Point: NVMeCompletionDrop, Rate: 0.5, Start: 4},
+		Rule{Point: DeviceReset, At: 0.25, Duration: 0.05},
+		Rule{Point: DeviceReset, At: 0.75, Duration: 0.01},
+	)
+	if err != nil {
+		t.Fatalf("disjoint windows rejected: %v", err)
+	}
+}
+
+// Mix64 is the shared hash-per-decision primitive; pin a few values so a
+// drive-by "optimization" cannot silently change every seeded schedule
+// in the tree.
+func TestMix64Pinned(t *testing.T) {
+	for in, want := range map[uint64]uint64{
+		0: 0xE220A8397B1DCDAF,
+		1: 0x910A2DEC89025CC1,
+		0xDEADBEEF: 0x4ADFB90F68C9EB9B,
+	} {
+		if got := Mix64(in); got != want {
+			t.Errorf("Mix64(%#x) = %#x, want %#x", in, got, want)
 		}
 	}
 }

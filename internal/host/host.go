@@ -75,7 +75,15 @@ func (h *Host) WriteObject(dev *csd.Device, object string, offset, bytes int64, 
 
 // Call invokes a CSD function through the call queue (§III-C-b).
 func (h *Host) Call(dev *csd.Device, fn csd.Call, done func(nvme.Completion)) {
-	dev.QP.Submit(nvme.Command{Opcode: nvme.OpCall, Payload: fn}, h.traced("call", done))
+	h.CallDeadline(dev, fn, 0, done)
+}
+
+// CallDeadline is Call with an absolute completion deadline enforced by
+// the queue pair's host-side supervision (see nvme.SubmitDeadline); a
+// zero deadline is plain Call. The executor threads per-line deadlines
+// from its resilience policy through here to the NVMe completion timers.
+func (h *Host) CallDeadline(dev *csd.Device, fn csd.Call, deadline sim.Time, done func(nvme.Completion)) {
+	dev.QP.SubmitDeadline(nvme.Command{Opcode: nvme.OpCall, Payload: fn}, deadline, h.traced("call", done))
 }
 
 // Preempt asks the device to stop offloaded work at the next line

@@ -17,9 +17,13 @@
 // every issued command carries a host-side completion timer; on expiry the
 // host abandons the command (a late completion is discarded, like a real
 // driver's abort), re-issues it after exponential backoff, and after
-// MaxAttempts surfaces a StatusTimeout completion to the submitter. With
-// no policy and no faults the queue pair behaves — event for event —
-// exactly as the fault-free model did.
+// MaxAttempts surfaces a StatusTimeout completion to the submitter.
+// SubmitDeadline adds an absolute per-command budget on top: the
+// completion timer never fires past the deadline, no retry is scheduled
+// that would start past it, and the submitter sees StatusDeadline once
+// the budget is spent. With no policy, no deadline, and no faults the
+// queue pair behaves — event for event — exactly as the fault-free model
+// did.
 package nvme
 
 import (
@@ -45,6 +49,7 @@ const (
 	StatusInvalidOpcode uint16 = 0x1   // unknown opcode
 	StatusAborted       uint16 = 0x4   // command aborted (device reset)
 	StatusTimeout       uint16 = 0x5   // host-side completion timer expired, retries exhausted
+	StatusDeadline      uint16 = 0x6   // per-command deadline passed; the host stopped waiting
 	StatusMediaError    uint16 = 0x281 // unrecovered read error (UECC)
 )
 
@@ -153,13 +158,15 @@ type QueuePair struct {
 	dropped   uint64 // injected completion drops
 	lost      uint64 // injected command losses
 	aborted   uint64 // commands failed by AbortAll (device reset)
+	deadlined uint64 // commands abandoned at their deadline
 }
 
 type pending struct {
-	cmd     Command
-	when    sim.Time
-	done    func(Completion)
-	attempt int // issue attempts already consumed
+	cmd      Command
+	when     sim.Time
+	deadline sim.Time // absolute give-up instant; 0 = none
+	done     func(Completion)
+	attempt  int // issue attempts already consumed
 }
 
 // issued is one command the hardware queue currently owns. settled flips
@@ -215,12 +222,30 @@ func (q *QueuePair) FaultStats() (timeouts, retries, dropped, lost, aborted uint
 	return q.timeouts, q.retries, q.dropped, q.lost, q.aborted
 }
 
+// Deadlined returns how many commands were abandoned at their deadline,
+// i.e. finished with a synthesized StatusDeadline completion.
+func (q *QueuePair) Deadlined() uint64 { return q.deadlined }
+
 // Submit posts cmd; done fires on the host side when the completion entry
 // has crossed back over the link (or, under a RetryPolicy, when the host
 // gives up on the command and synthesizes a failure completion).
 func (q *QueuePair) Submit(cmd Command, done func(Completion)) {
+	q.SubmitDeadline(cmd, 0, done)
+}
+
+// SubmitDeadline is Submit with an absolute per-command deadline in
+// simulated time. Once the clock reaches deadline the host stops
+// waiting: the in-flight attempt is abandoned exactly like a completion
+// timer expiry (the completion timer is shortened to fire no later than
+// the deadline), no further retries are scheduled, and the submitter
+// sees a synthesized StatusDeadline completion. A zero deadline disables
+// the budget, making SubmitDeadline(cmd, 0, done) identical to Submit.
+// Deadlines work with or without a RetryPolicy — an unsupervised command
+// still gets a timer at its deadline, so a deadlined command can never
+// strand the queue pair.
+func (q *QueuePair) SubmitDeadline(cmd Command, deadline sim.Time, done func(Completion)) {
 	q.submitted++
-	q.enqueue(pending{cmd: cmd, when: q.sim.Now(), done: done})
+	q.enqueue(pending{cmd: cmd, when: q.sim.Now(), deadline: deadline, done: done})
 }
 
 func (q *QueuePair) enqueue(p pending) {
@@ -233,12 +258,28 @@ func (q *QueuePair) enqueue(p pending) {
 }
 
 func (q *QueuePair) issue(p pending) {
+	if p.deadline > 0 && q.sim.Now() >= p.deadline {
+		// The deadline passed while the command sat in the software queue
+		// (or between retry attempts): abandon it without consuming a
+		// hardware slot.
+		q.deadlined++
+		if p.done != nil {
+			p.done(Completion{Status: StatusDeadline, Submitted: p.when, Completed: q.sim.Now()})
+		}
+		return
+	}
 	q.inFlight++
 	q.sim.Recorder().Sample(trace.CtrNVMeSQDepth, "commands", "nvme", q.sim.Now(), float64(q.inFlight))
 	is := &issued{p: p}
 	q.live = append(q.live, is)
-	if q.retry.Timeout > 0 {
-		is.timer = q.sim.AfterNamed(q.retry.Timeout, "nvme-timeout", func() { q.expire(is) })
+	timeout := q.retry.Timeout
+	if p.deadline > 0 {
+		if remain := p.deadline - q.sim.Now(); timeout <= 0 || remain < timeout {
+			timeout = remain
+		}
+	}
+	if timeout > 0 {
+		is.timer = q.sim.AfterNamed(timeout, "nvme-timeout", func() { q.expire(is) })
 	}
 	// SQE + doorbell crossing to the device.
 	q.link.Transfer(SQESize, func(_, arrive sim.Time) {
@@ -303,7 +344,10 @@ func (q *QueuePair) settle(is *issued) {
 	}
 	q.inFlight--
 	q.sim.Recorder().Sample(trace.CtrNVMeSQDepth, "commands", "nvme", q.sim.Now(), float64(q.inFlight))
-	if len(q.soft) > 0 {
+	// Pull software-queued commands in; issue can decline one whose
+	// deadline already passed without taking the slot, so keep pulling
+	// until the slot is filled or the queue empties.
+	for q.inFlight < q.depth && len(q.soft) > 0 {
 		next := q.soft[0]
 		q.soft = q.soft[1:]
 		q.sim.Recorder().Sample(trace.CtrNVMeSoftQueue, "commands", "nvme", q.sim.Now(), float64(len(q.soft)))
@@ -312,19 +356,26 @@ func (q *QueuePair) settle(is *issued) {
 }
 
 // expire handles a completion-timer expiry: abandon the command and run
-// the retry ladder with a timeout status.
+// the retry ladder. A timer that fired at (or past) the command's
+// deadline reports StatusDeadline — the host gave up by policy, not
+// because the device looked dead.
 func (q *QueuePair) expire(is *issued) {
 	if is.settled {
 		return
 	}
 	q.timeouts++
 	q.sim.Recorder().Instant("nvme", "fault", "nvme-timeout", q.sim.Now())
-	q.fail(is, StatusTimeout)
+	status := StatusTimeout
+	if d := is.p.deadline; d > 0 && q.sim.Now() >= d {
+		status = StatusDeadline
+	}
+	q.fail(is, status)
 }
 
 // fail abandons is and either re-issues its command after exponential
-// backoff or, with attempts exhausted, delivers a synthesized failure
-// completion to the submitter.
+// backoff or, with attempts exhausted (or the deadline leaving no room
+// for another attempt), delivers a synthesized failure completion to the
+// submitter.
 func (q *QueuePair) fail(is *issued, status uint16) {
 	if is.settled {
 		return
@@ -332,12 +383,22 @@ func (q *QueuePair) fail(is *issued, status uint16) {
 	q.settle(is)
 	p := is.p
 	if p.attempt+1 < q.retry.maxAttempts() {
-		p.attempt++
-		q.retries++
-		q.sim.Recorder().Instant("nvme", "fault", "nvme-retry", q.sim.Now())
-		backoff := q.retry.Backoff * float64(uint64(1)<<uint(p.attempt-1))
-		q.sim.AfterNamed(backoff, "nvme-retry", func() { q.enqueue(p) })
-		return
+		backoff := q.retry.Backoff * float64(uint64(1)<<uint(p.attempt))
+		if p.deadline == 0 || q.sim.Now()+backoff < p.deadline {
+			p.attempt++
+			q.retries++
+			q.sim.Recorder().Instant("nvme", "fault", "nvme-retry", q.sim.Now())
+			q.sim.AfterNamed(backoff, "nvme-retry", func() { q.enqueue(p) })
+			return
+		}
+		// Retry budget remains, but the next attempt would start past the
+		// deadline: stop here and surface the budget exhaustion.
+		status = StatusDeadline
+	} else if p.deadline > 0 && q.sim.Now() >= p.deadline {
+		status = StatusDeadline
+	}
+	if status == StatusDeadline {
+		q.deadlined++
 	}
 	if p.done != nil {
 		p.done(Completion{Status: status, Submitted: p.when, Completed: q.sim.Now()})

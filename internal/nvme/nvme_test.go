@@ -278,3 +278,124 @@ func TestBadConstruction(t *testing.T) {
 		}()
 	}
 }
+
+// A deadline shorter than the command's service time must abandon it
+// with StatusDeadline at exactly the deadline instant — even with no
+// RetryPolicy armed, so a deadlined command can never strand the run.
+func TestDeadlineAbandonsSlowCommand(t *testing.T) {
+	s := sim.New()
+	link := sim.NewLink(s, "l", 1e12, 0)
+	qp := NewQueuePair(s, link, 4, echoHandler(10e-3, s))
+	var got Completion
+	completions := 0
+	qp.SubmitDeadline(Command{Opcode: OpCall}, 2e-3, func(c Completion) { completions++; got = c })
+	s.Run()
+	if completions != 1 {
+		t.Fatalf("saw %d completions, want exactly 1", completions)
+	}
+	if got.Status != StatusDeadline {
+		t.Fatalf("status %#x, want StatusDeadline", got.Status)
+	}
+	if got.Completed != 2e-3 {
+		t.Errorf("abandoned at %v, want exactly the 2ms deadline", got.Completed)
+	}
+	if qp.Deadlined() != 1 {
+		t.Errorf("deadlined=%d, want 1", qp.Deadlined())
+	}
+	if qp.InFlight() != 0 || qp.SoftQueued() != 0 {
+		t.Errorf("queues not drained: %d/%d", qp.InFlight(), qp.SoftQueued())
+	}
+}
+
+// A generous deadline must not perturb a healthy command.
+func TestDeadlineGenerousIsInvisible(t *testing.T) {
+	s := sim.New()
+	link := sim.NewLink(s, "l", 1e9, 1e-6)
+	qp := NewQueuePair(s, link, 4, echoHandler(1e-4, s))
+	qp.SetRetryPolicy(RetryPolicy{Timeout: 1e-3, MaxAttempts: 3, Backoff: 1e-4})
+	var got Completion
+	qp.SubmitDeadline(Command{Opcode: OpRead}, 1.0, func(c Completion) { got = c })
+	s.Run()
+	if got.Status != StatusOK {
+		t.Fatalf("status %#x", got.Status)
+	}
+	if qp.Deadlined() != 0 {
+		t.Errorf("deadlined=%d, want 0", qp.Deadlined())
+	}
+}
+
+// With command losses, the retry ladder must stop as soon as the next
+// attempt would start past the deadline: the submitter hears exactly
+// once, with StatusDeadline, no later than the deadline allows.
+func TestDeadlineCutsRetryLadder(t *testing.T) {
+	s := sim.New()
+	link := sim.NewLink(s, "l", 1e12, 0)
+	qp := NewQueuePair(s, link, 4, echoHandler(1e-4, s))
+	qp.SetRetryPolicy(RetryPolicy{Timeout: 1e-3, MaxAttempts: 10, Backoff: 1e-3})
+	qp.SetFaults(fault.NewPlan(1, fault.Rule{Point: fault.NVMeCommandLoss, Rate: 1}))
+	completions := 0
+	var got Completion
+	// Without the deadline the 10-attempt ladder would run ~tens of ms.
+	qp.SubmitDeadline(Command{Opcode: OpCall}, 2.5e-3, func(c Completion) { completions++; got = c })
+	s.Run()
+	if completions != 1 {
+		t.Fatalf("saw %d completions, want exactly 1", completions)
+	}
+	if got.Status != StatusDeadline {
+		t.Fatalf("status %#x, want StatusDeadline", got.Status)
+	}
+	if got.Completed > 2.5e-3 {
+		t.Errorf("gave up at %v, after the deadline", got.Completed)
+	}
+	if qp.Deadlined() != 1 {
+		t.Errorf("deadlined=%d, want 1", qp.Deadlined())
+	}
+}
+
+// Submit must stay bit-identical to SubmitDeadline with a zero deadline:
+// the deadline machinery is strictly opt-in.
+func TestZeroDeadlineIsSubmit(t *testing.T) {
+	run := func(deadline sim.Time) (sim.Time, uint64) {
+		s := sim.New()
+		link := sim.NewLink(s, "l", 1e9, 1e-6)
+		qp := NewQueuePair(s, link, 2, echoHandler(1e-4, s))
+		qp.SetRetryPolicy(RetryPolicy{Timeout: 5e-4, MaxAttempts: 4, Backoff: 1e-4})
+		qp.SetFaults(fault.NewPlan(7, fault.Rule{Point: fault.NVMeCompletionDrop, Rate: 1, MaxCount: 2}))
+		var last sim.Time
+		for i := 0; i < 6; i++ {
+			qp.SubmitDeadline(Command{Opcode: OpCall}, deadline, func(c Completion) { last = c.Completed })
+		}
+		s.Run()
+		return last, s.EventsFired()
+	}
+	endA, firedA := run(0)
+	endB, firedB := run(0)
+	if endA != endB || firedA != firedB {
+		t.Fatalf("zero-deadline runs diverge: %v/%d vs %v/%d", endA, firedA, endB, firedB)
+	}
+}
+
+// A deadline that passes while the command waits in the software queue
+// abandons it on dequeue without consuming a hardware slot, and the
+// queue keeps draining.
+func TestDeadlineExpiresInSoftQueue(t *testing.T) {
+	s := sim.New()
+	link := sim.NewLink(s, "l", 1e12, 0)
+	qp := NewQueuePair(s, link, 1, echoHandler(1e-3, s))
+	var first, starved Completion
+	qp.SubmitDeadline(Command{Opcode: OpCall}, 0, func(c Completion) { first = c })
+	// Queued behind a 1ms command but allowed only 0.5ms total.
+	qp.SubmitDeadline(Command{Opcode: OpCall}, 5e-4, func(c Completion) { starved = c })
+	var last Completion
+	qp.Submit(Command{Opcode: OpCall}, func(c Completion) { last = c })
+	s.Run()
+	if first.Status != StatusOK || last.Status != StatusOK {
+		t.Fatalf("healthy commands failed: %#x %#x", first.Status, last.Status)
+	}
+	if starved.Status != StatusDeadline {
+		t.Fatalf("starved command status %#x, want StatusDeadline", starved.Status)
+	}
+	if qp.InFlight() != 0 || qp.SoftQueued() != 0 {
+		t.Errorf("queues not drained: %d/%d", qp.InFlight(), qp.SoftQueued())
+	}
+}

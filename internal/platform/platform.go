@@ -5,6 +5,8 @@
 package platform
 
 import (
+	"fmt"
+
 	"activego/internal/csd"
 	"activego/internal/fault"
 	"activego/internal/host"
@@ -72,6 +74,23 @@ func (p *Platform) InstallFaults(plan *fault.Plan, retry nvme.RetryPolicy) {
 	plan.SetRecorder(p.Sim.Recorder())
 	p.Dev.InstallFaults(plan)
 	p.Dev.QP.SetRetryPolicy(retry)
+}
+
+// Drained verifies the machine is quiescent: no simulator events on the
+// calendar, no NVMe commands device-owned, none waiting in the software
+// queue. The chaos harness checks this after every schedule — a non-nil
+// error means a run stranded live state behind its result.
+func (p *Platform) Drained() error {
+	if n := p.Sim.Pending(); n != 0 {
+		return fmt.Errorf("platform: %d simulator events still pending", n)
+	}
+	if n := p.Dev.QP.InFlight(); n != 0 {
+		return fmt.Errorf("platform: %d NVMe commands still device-owned", n)
+	}
+	if n := p.Dev.QP.SoftQueued(); n != 0 {
+		return fmt.Errorf("platform: %d NVMe commands still software-queued", n)
+	}
+	return nil
 }
 
 // SetRecorder attaches a structured trace recorder to the whole machine:

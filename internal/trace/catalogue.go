@@ -35,6 +35,9 @@ const (
 	CtrCSDStatusMsgs = "csd.status_msgs"
 	// CtrExecProgress is the fraction of CSD-assigned work completed.
 	CtrExecProgress = "exec.csd_progress"
+	// CtrExecBreakerState is the offload circuit breaker's position,
+	// sampled at each transition: 0 closed, 0.5 half-open, 1 open.
+	CtrExecBreakerState = "exec.breaker_state"
 )
 
 // CounterInfo describes one catalogued counter series.
@@ -63,6 +66,7 @@ func Catalogue() []CounterInfo {
 		{CtrDevMemInFlight, "bytes", "devmem", "link transfer issue and landing"},
 		{CtrCSDStatusMsgs, "messages", "csd", "Device.SendStatus"},
 		{CtrExecProgress, "fraction", "exec", "after each completed CSD line"},
+		{CtrExecBreakerState, "state", "exec", "breaker open/probe/close transitions"},
 	}
 }
 
