@@ -23,6 +23,7 @@ import (
 	"activego/internal/cliutil"
 	"activego/internal/codegen"
 	"activego/internal/core"
+	"activego/internal/inputs"
 	"activego/internal/platform"
 	"activego/internal/profile"
 	"activego/internal/resilience"
@@ -142,27 +143,48 @@ func fail(err error) {
 
 // runVet implements `activego vet`: the static-analysis lint surface.
 // Diagnostics print one per line in the machine-readable form
-// `file:line: CODE: message [severity]`. Exit status: 0 when every file
-// is clean or carries only warnings unless -strict, 1 when any
-// error-severity diagnostic (or, with -strict, any diagnostic) fired,
-// 2 on usage, read, or parse failures.
+// `file:line: CODE: message [severity]`, or as a JSON array with -json.
+// Exit status: 0 when every file is clean or carries only warnings
+// unless -werror, 1 when any error-severity diagnostic (or, with
+// -werror, any diagnostic) fired, 2 on usage, read, or parse failures.
+//
+// With -workloads the targets are the embedded workload programs, and
+// the lint runs the real pipeline's sampling phase too, so the
+// dynamic-input advisories (AV009 bound-vs-fit contradictions, AV011
+// never-win offloads) appear alongside the static catalogue.
 func runVet(args []string) int {
 	fs := flag.NewFlagSet("vet", flag.ExitOnError)
-	strict := fs.Bool("strict", false, "treat warnings as errors")
+	werror := fs.Bool("werror", false, "treat warnings as errors")
+	strict := fs.Bool("strict", false, "alias of -werror (kept for existing scripts)")
+	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array")
 	overWorkloads := fs.Bool("workloads", false, "lint every embedded workload program instead of files")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: activego vet [-strict] program.apy...")
-		fmt.Fprintln(os.Stderr, "       activego vet [-strict] -workloads")
+		fmt.Fprintln(os.Stderr, "usage: activego vet [-werror] [-json] program.apy...")
+		fmt.Fprintln(os.Stderr, "       activego vet [-werror] [-json] -workloads")
 		fs.PrintDefaults()
 	}
 	_ = fs.Parse(args)
+	warnFatal := *werror || *strict
 
 	type target struct{ name, src string }
 	var targets []target
+	var vetDynamic func(src string, name string) ([]analysis.Diagnostic, error)
 	if *overWorkloads {
 		p := workloads.TestParams()
 		for _, spec := range workloads.All() {
 			targets = append(targets, target{name: "workload:" + spec.Name, src: spec.Build(p).Source})
+		}
+		// Workload programs come with their inputs, so the sampling-phase
+		// advisories are computable: vet them through the real pipeline.
+		insts := map[string]*inputs.Registry{}
+		for _, spec := range workloads.All() {
+			insts["workload:"+spec.Name] = spec.Build(p).Registry
+		}
+		vetDynamic = func(src, name string) ([]analysis.Diagnostic, error) {
+			rt := core.New(platform.Default())
+			rt.SampleScales = profile.ScaledScales
+			rt.PreloadInputs(insts[name])
+			return rt.Vet(src, insts[name])
 		}
 	} else {
 		if fs.NArg() == 0 {
@@ -180,17 +202,34 @@ func runVet(args []string) int {
 	}
 
 	status := 0
+	var all []analysis.FileDiagnostic
 	for _, tg := range targets {
-		diags, err := analysis.LintSource(tg.src)
+		var diags []analysis.Diagnostic
+		var err error
+		if vetDynamic != nil {
+			diags, err = vetDynamic(tg.src, tg.name)
+		} else {
+			diags, err = analysis.LintSource(tg.src)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "activego vet: %s: %v\n", tg.name, err)
 			return 2
 		}
 		for _, d := range diags {
-			fmt.Printf("%s [%s]\n", d.Format(tg.name), d.Severity)
+			if *asJSON {
+				all = append(all, analysis.FileDiagnostic{File: tg.name, Diag: d})
+			} else {
+				fmt.Printf("%s [%s]\n", d.Format(tg.name), d.Severity)
+			}
 		}
-		if analysis.HasErrors(diags) || (*strict && len(diags) > 0) {
+		if analysis.HasErrors(diags) || (warnFatal && len(diags) > 0) {
 			status = 1
+		}
+	}
+	if *asJSON {
+		if err := analysis.WriteJSON(os.Stdout, all); err != nil {
+			fmt.Fprintln(os.Stderr, "activego vet:", err)
+			return 2
 		}
 	}
 	return status

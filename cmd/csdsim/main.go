@@ -31,6 +31,8 @@ import (
 
 func main() {
 	lint := flag.Bool("lint", false, "lint mini-language source files instead of simulating (args are .apy paths)")
+	lintJSON := flag.Bool("json", false, "with -lint: emit diagnostics as a JSON array")
+	lintWerror := flag.Bool("werror", false, "with -lint: treat warnings as errors")
 	readMB := flag.Int64("read-mb", 64, "stream this many MB from the device to the host")
 	writeMB := flag.Int64("write-mb", 16, "stream this many MB from the host to the device")
 	calls := flag.Int("calls", 8, "CSD function invocations through the call queue")
@@ -44,7 +46,7 @@ func main() {
 	flag.Parse()
 
 	if *lint {
-		os.Exit(runLint(flag.Args()))
+		os.Exit(runLint(flag.Args(), *lintJSON, *lintWerror))
 	}
 	if *chaosN > 0 {
 		os.Exit(runDeviceChaos(*chaosN, *chaosSeed, *retryTimeout))
@@ -202,16 +204,19 @@ func runDeviceChaos(n int, seed uint64, retryTimeout float64) int {
 	return 0
 }
 
-// runLint is the -lint mode: same rule catalogue and output shape as
-// `activego vet`, exposed on the substrate tool so device-side work can
-// be checked without the language binary. Exit 0 clean/warnings, 1 on
-// error diagnostics, 2 on usage/read/parse failures.
-func runLint(paths []string) int {
+// runLint is the -lint mode: same rule catalogue and output shapes as
+// `activego vet` (plain lines, or a JSON array with -json), exposed on
+// the substrate tool so device-side work can be checked without the
+// language binary. Exit 0 clean/warnings (unless -werror), 1 on error
+// diagnostics (or any diagnostic under -werror), 2 on usage/read/parse
+// failures.
+func runLint(paths []string, asJSON, werror bool) int {
 	if len(paths) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: csdsim -lint program.apy...")
+		fmt.Fprintln(os.Stderr, "usage: csdsim -lint [-json] [-werror] program.apy...")
 		return 2
 	}
 	status := 0
+	var all []analysis.FileDiagnostic
 	for _, path := range paths {
 		src, err := os.ReadFile(path)
 		if err != nil {
@@ -224,10 +229,20 @@ func runLint(paths []string) int {
 			return 2
 		}
 		for _, d := range diags {
-			fmt.Printf("%s [%s]\n", d.Format(path), d.Severity)
+			if asJSON {
+				all = append(all, analysis.FileDiagnostic{File: path, Diag: d})
+			} else {
+				fmt.Printf("%s [%s]\n", d.Format(path), d.Severity)
+			}
 		}
-		if analysis.HasErrors(diags) {
+		if analysis.HasErrors(diags) || (werror && len(diags) > 0) {
 			status = 1
+		}
+	}
+	if asJSON {
+		if err := analysis.WriteJSON(os.Stdout, all); err != nil {
+			fmt.Fprintln(os.Stderr, "csdsim:", err)
+			return 2
 		}
 	}
 	return status

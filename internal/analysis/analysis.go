@@ -135,6 +135,9 @@ type Report struct {
 	undefined map[int][]string
 	// breakOutsideLoop lists `break` statements with no enclosing for.
 	breakOutsideLoop []int
+	// absint is the interval abstract-interpretation result: static
+	// per-line execution-count bounds and loop trip-count bounds.
+	absint *absState
 }
 
 type defKey struct {
@@ -183,6 +186,7 @@ func Analyze(prog *ast.Program) (*Report, error) {
 	}
 	b.solveReachingDefs(entry)
 	r.finish(b, exit)
+	r.absint = runAbsint(prog)
 	return r, nil
 }
 

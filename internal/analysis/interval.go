@@ -1,0 +1,131 @@
+// The interval domain for the abstract-interpretation layer: closed
+// ranges [Lo, Hi] over the extended reals. Scalars, loop bounds, and
+// per-line execution counts are all abstracted as intervals; ±Inf marks
+// a statically unknown direction.
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a closed range [Lo, Hi] over the extended reals. The
+// empty interval is not representable — analyses here never need
+// bottom, because every program point that executes has at least one
+// concrete value — and Lo ≤ Hi is an invariant of every constructor.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Top is the unconstrained interval (-Inf, +Inf).
+func Top() Interval { return Interval{math.Inf(-1), math.Inf(1)} }
+
+// Point is the singleton interval [v, v].
+func Point(v float64) Interval { return Interval{v, v} }
+
+// Range constructs [lo, hi], swapping if given out of order.
+func Range(lo, hi float64) Interval {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return Interval{lo, hi}
+}
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%s, %s]", fmtBound(iv.Lo), fmtBound(iv.Hi))
+}
+
+func fmtBound(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// IsPoint reports whether the interval is a finite singleton.
+func (iv Interval) IsPoint() bool {
+	return iv.Lo == iv.Hi && !math.IsInf(iv.Lo, 0)
+}
+
+// Contains reports whether v lies in the interval.
+func (iv Interval) Contains(v float64) bool { return iv.Lo <= v && v <= iv.Hi }
+
+// Join is the lattice union: the smallest interval covering both.
+func (iv Interval) Join(o Interval) Interval {
+	return Interval{math.Min(iv.Lo, o.Lo), math.Max(iv.Hi, o.Hi)}
+}
+
+// Widen accelerates fixpoints: any bound that moved since prev jumps
+// straight to its infinity.
+func (iv Interval) Widen(prev Interval) Interval {
+	out := iv
+	if iv.Lo < prev.Lo {
+		out.Lo = math.Inf(-1)
+	}
+	if iv.Hi > prev.Hi {
+		out.Hi = math.Inf(1)
+	}
+	return out
+}
+
+// Add is interval addition.
+func (iv Interval) Add(o Interval) Interval {
+	return Interval{addBound(iv.Lo, o.Lo, -1), addBound(iv.Hi, o.Hi, 1)}
+}
+
+// addBound adds two extended reals; an Inf−Inf clash resolves toward
+// the conservative direction (sign: -1 for lower bounds, +1 for upper).
+func addBound(a, b float64, sign int) float64 {
+	s := a + b
+	if math.IsNaN(s) {
+		return math.Inf(sign)
+	}
+	return s
+}
+
+// Sub is interval subtraction.
+func (iv Interval) Sub(o Interval) Interval {
+	return iv.Add(Interval{-o.Hi, -o.Lo})
+}
+
+// Neg negates the interval.
+func (iv Interval) Neg() Interval { return Interval{-iv.Hi, -iv.Lo} }
+
+// Mul is interval multiplication: the hull of the corner products.
+func (iv Interval) Mul(o Interval) Interval {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, a := range [2]float64{iv.Lo, iv.Hi} {
+		for _, b := range [2]float64{o.Lo, o.Hi} {
+			p := a * b
+			if math.IsNaN(p) { // 0 × ±Inf: the finite factor wins
+				p = 0
+			}
+			lo = math.Min(lo, p)
+			hi = math.Max(hi, p)
+		}
+	}
+	return Interval{lo, hi}
+}
+
+// Div is interval division; a divisor straddling zero yields Top.
+func (iv Interval) Div(o Interval) Interval {
+	if o.Contains(0) {
+		return Top()
+	}
+	inv := Interval{1 / o.Hi, 1 / o.Lo}
+	return iv.Mul(inv)
+}
+
+// ClampMin raises the lower bound to at least min.
+func (iv Interval) ClampMin(min float64) Interval {
+	if iv.Lo < min {
+		iv.Lo = min
+	}
+	if iv.Hi < min {
+		iv.Hi = min
+	}
+	return iv
+}

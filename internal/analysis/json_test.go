@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWriteJSONGolden pins the -json schema both CLIs share: flat array
+// of {file, line, col, code, severity, message}, in lint order.
+// Regenerate with `go test -update`.
+func TestWriteJSONGolden(t *testing.T) {
+	var all []FileDiagnostic
+	for _, name := range []string{"deadcode", "stepzero", "unbounded"} {
+		src, err := os.ReadFile(filepath.Join("testdata", name+".apy"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags, err := LintSource(string(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			all = append(all, FileDiagnostic{File: name + ".apy", Diag: d})
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, all); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "diagnostics.json.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -update`): %v", err)
+	}
+	if buf.String() != string(want) {
+		t.Errorf("JSON output differs from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, buf.String(), want)
+	}
+}
+
+func TestWriteJSONEmptyIsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "[]\n" {
+		t.Errorf("empty diagnostic set encodes as %q, want []", got)
+	}
+}

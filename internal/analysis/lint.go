@@ -40,6 +40,9 @@ const (
 	CodeUnreachable     = "AV006" // statement after break
 	CodeStrayBreak      = "AV007" // break outside any loop
 	CodeOptimalFallback = "AV008" // more offloadable lines than the exact planner enumerates
+	CodeBoundMismatch   = "AV009" // static execution-count bound contradicts the fitted profile
+	CodeUnboundedLoop   = "AV010" // statically-infinite or unbounded loop
+	CodeNeverWin        = "AV011" // offload's provable minimum cost exceeds the host cost
 
 	CodeIllegalOffload = "AV101" // partition offloads a host-only line
 	CodeUnknownLine    = "AV102" // partition offloads a nonexistent line
@@ -134,6 +137,28 @@ func (r *Report) Lint() []Diagnostic {
 			Line: ln, Code: CodeStrayBreak, Severity: SevError,
 			Msg: "break outside any loop",
 		})
+	}
+
+	// AV010 — statically-infinite or unbounded loop (from the interval
+	// abstract interpretation).
+	if r.absint != nil {
+		for _, f := range r.Lines {
+			if f.Kind != KindFor {
+				continue
+			}
+			switch {
+			case r.absint.stepZero[f.Line]:
+				diags = append(diags, Diagnostic{
+					Line: f.Line, Code: CodeUnboundedLoop, Severity: SevError,
+					Msg: "range step is provably zero: the loop cannot advance and the program always fails at run time",
+				})
+			case r.absint.unbounded[f.Line]:
+				diags = append(diags, Diagnostic{
+					Line: f.Line, Code: CodeUnboundedLoop, Severity: SevWarning,
+					Msg: "loop trip count is statically unbounded: the bound derives from neither literals nor data sizes, so no per-line cost bound exists under it",
+				})
+			}
+		}
 	}
 
 	// AV008 — more offload candidates than the exact planner enumerates.
@@ -231,6 +256,11 @@ func (r *Report) insideLoop(line, loop int) bool {
 	}
 	return false
 }
+
+// Sort orders diagnostics by line, then code, then message — the
+// canonical order every lint surface emits. Exposed for callers (core's
+// Vet) that merge diagnostic streams from multiple passes.
+func Sort(diags []Diagnostic) { sortDiagnostics(diags) }
 
 func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {

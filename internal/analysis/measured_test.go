@@ -1,0 +1,74 @@
+package analysis
+
+import "testing"
+
+const measuredProgram = `t = load("t")
+for i in range(4):
+    x = vsum(t)
+y = 1
+`
+
+func TestCheckMeasuredWithinBounds(t *testing.T) {
+	r := mustAnalyze(t, measuredProgram)
+	diags := r.CheckMeasured([]Measured{
+		{Line: 1, Execs: 1},
+		{Line: 3, Execs: 4},
+		{Line: 4, Execs: 1},
+	})
+	if len(diags) != 0 {
+		t.Errorf("in-bound counts produced diagnostics: %v", diags)
+	}
+}
+
+func TestCheckMeasuredToleratesFitResidue(t *testing.T) {
+	r := mustAnalyze(t, measuredProgram)
+	// 4 executions fitted as 4.9: within the 5% + 1 stretch, no finding.
+	if diags := r.CheckMeasured([]Measured{{Line: 3, Execs: 4.9}}); len(diags) != 0 {
+		t.Errorf("fit residue inside tolerance flagged: %v", diags)
+	}
+}
+
+func TestCheckMeasuredContradiction(t *testing.T) {
+	r := mustAnalyze(t, measuredProgram)
+	diags := r.CheckMeasured([]Measured{{Line: 3, Execs: 100}})
+	if len(diags) != 1 || diags[0].Code != CodeBoundMismatch || diags[0].Line != 3 {
+		t.Fatalf("want one AV009 on line 3, got %v", diags)
+	}
+	if diags[0].Severity != SevWarning {
+		t.Errorf("AV009 severity = %v, want warning", diags[0].Severity)
+	}
+}
+
+func TestCheckMeasuredUnknownLine(t *testing.T) {
+	r := mustAnalyze(t, measuredProgram)
+	diags := r.CheckMeasured([]Measured{{Line: 42, Execs: 3}})
+	if len(diags) != 1 || diags[0].Code != CodeBoundMismatch || diags[0].Line != 42 {
+		t.Fatalf("want one AV009 for the nonexistent line, got %v", diags)
+	}
+}
+
+func TestCheckMeasuredSkipsControlHeaders(t *testing.T) {
+	r := mustAnalyze(t, measuredProgram)
+	// The for header is not a work-bearing line; even an absurd count is
+	// not cross-checked there.
+	if diags := r.CheckMeasured([]Measured{{Line: 2, Execs: 1e9}}); len(diags) != 0 {
+		t.Errorf("control header cross-checked: %v", diags)
+	}
+}
+
+func TestCheckMeasuredUnboundedUpperIsOpen(t *testing.T) {
+	r := mustAnalyze(t, `t = load("t")
+n = vlen(t)
+for i in range(n):
+    x = n + i
+`)
+	// A data-bounded loop has an infinite static upper bound: no fitted
+	// count can exceed it.
+	if diags := r.CheckMeasured([]Measured{{Line: 4, Execs: 1e12}}); len(diags) != 0 {
+		t.Errorf("open upper bound flagged a large count: %v", diags)
+	}
+	// The lower bound still binds: a negative count is impossible.
+	if diags := r.CheckMeasured([]Measured{{Line: 4, Execs: -5}}); len(diags) != 1 {
+		t.Errorf("negative count under [0, +inf] not flagged: %v", diags)
+	}
+}

@@ -1,0 +1,102 @@
+package core_test
+
+import (
+	"sort"
+	"testing"
+
+	"activego/internal/analysis"
+	"activego/internal/core"
+	"activego/internal/metrics"
+)
+
+// advisoryProgram mixes heavy vector lines (worth offloading) with a
+// cheap scalar line whose offload can never recoup the queue-dispatch
+// cost — the shape plan.NeverWin (AV011) exists to prune.
+const advisoryProgram = `v = load("sensors")
+thresh = 0.5
+big = vselect(v, vgt(v, thresh))
+out = vsum(big)
+`
+
+// TestRunPopulatesAdvisories pins the runtime wiring of the dynamic
+// analysis verdicts: Run must surface AV009/AV011 findings on the
+// Outcome, every AV011 line must actually be absent from the executed
+// partition, and the plan.pruned_lines counter must agree with the
+// advisory stream.
+func TestRunPopulatesAdvisories(t *testing.T) {
+	reg := scanRegistry(1 << 16)
+	rt := newRuntime()
+	rt.Metrics = metrics.New()
+	rt.PreloadInputs(reg)
+
+	out, err := rt.Run(advisoryProgram, reg, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pruned := 0
+	for _, d := range out.Advisories {
+		if d.Code != analysis.CodeNeverWin {
+			continue
+		}
+		pruned++
+		if d.Severity != analysis.SevWarning {
+			t.Errorf("AV011 on line %d has severity %v, want warning", d.Line, d.Severity)
+		}
+		if out.Plan.Partition.OnCSD(d.Line) {
+			t.Errorf("line %d carries AV011 (never-win) yet was offloaded: %v",
+				d.Line, out.Plan.Partition)
+		}
+	}
+	if pruned == 0 {
+		t.Fatalf("no AV011 advisories on %q; advisories = %v (vacuous test — "+
+			"the cheap scalar line should be provably unprofitable)",
+			advisoryProgram, out.Advisories)
+	}
+	if got := rt.Metrics.Counter(metrics.MetricPlanPrunedLines).Value(); got != float64(pruned) {
+		t.Errorf("%s = %g, want %d (one per AV011 advisory)",
+			metrics.MetricPlanPrunedLines, got, pruned)
+	}
+}
+
+// TestVetMergesStaticAndDynamic pins the rt.Vet surface that
+// `activego vet -workloads` sits on: one sorted stream holding both
+// the input-independent lints (AV001–AV007, AV010) and the
+// input-dependent advisories (AV009/AV011) for a concrete registry.
+func TestVetMergesStaticAndDynamic(t *testing.T) {
+	// The overwritten store on line 2 guarantees a static finding
+	// alongside the dynamic never-win verdict on the scalar lines.
+	src := `v = load("sensors")
+thresh = 9.9
+thresh = 0.5
+big = vselect(v, vgt(v, thresh))
+out = vsum(big)
+`
+	reg := scanRegistry(1 << 16)
+	rt := newRuntime()
+	rt.PreloadInputs(reg)
+
+	diags, err := rt.Vet(src, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	codes := map[string]bool{}
+	for _, d := range diags {
+		codes[d.Code] = true
+	}
+	if !codes[analysis.CodeDeadStore] {
+		t.Errorf("Vet dropped the static pass: no AV004 in %v", diags)
+	}
+	if !codes[analysis.CodeNeverWin] {
+		t.Errorf("Vet dropped the dynamic pass: no AV011 in %v", diags)
+	}
+	if !sort.SliceIsSorted(diags, func(i, j int) bool {
+		if diags[i].Line != diags[j].Line {
+			return diags[i].Line < diags[j].Line
+		}
+		return diags[i].Code < diags[j].Code
+	}) {
+		t.Errorf("Vet stream is not sorted by (line, code): %v", diags)
+	}
+}

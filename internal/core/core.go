@@ -74,6 +74,12 @@ type Outcome struct {
 	Env      *interp.Env
 	Outputs  map[string]value.Value
 	Exec     *exec.Result
+
+	// Advisories are the dynamic-input static-analysis findings: AV009
+	// (fitted execution counts contradicting the proved static bounds)
+	// and AV011 (offloads pruned because they provably cannot win).
+	// Purely informational — the plan above already reflects them.
+	Advisories []analysis.Diagnostic
 }
 
 // Runtime is an ActivePy instance bound to one platform.
@@ -115,24 +121,24 @@ func (rt *Runtime) PreloadInputs(reg *inputs.Registry) {
 // Analyze runs steps 1–3: parse, sample, and plan, without executing at
 // full scale. Examples and the accuracy experiment use it directly.
 func (rt *Runtime) Analyze(src string, reg *inputs.Registry) (*ast.Program, *profile.Report, *plan.Result, error) {
-	prog, _, report, planRes, err := rt.analyzeAll(src, reg)
+	prog, _, report, planRes, _, err := rt.analyzeAll(src, reg)
 	return prog, report, planRes, err
 }
 
 // analyzeAll is Analyze plus the static-analysis report: parse, analyze,
 // sample, and plan with illegal lines masked from the planner.
-func (rt *Runtime) analyzeAll(src string, reg *inputs.Registry) (*ast.Program, *analysis.Report, *profile.Report, *plan.Result, error) {
+func (rt *Runtime) analyzeAll(src string, reg *inputs.Registry) (*ast.Program, *analysis.Report, *profile.Report, *plan.Result, []analysis.Diagnostic, error) {
 	stop := rt.Metrics.Phase(metrics.PhaseParse)
 	prog, err := parser.Parse(src)
 	stop()
 	if err != nil {
-		return nil, nil, nil, nil, fmt.Errorf("core: parse: %w", err)
+		return nil, nil, nil, nil, nil, fmt.Errorf("core: parse: %w", err)
 	}
 	stop = rt.Metrics.Phase(metrics.PhaseAnalyze)
 	static, err := analysis.Analyze(prog)
 	stop()
 	if err != nil {
-		return nil, nil, nil, nil, fmt.Errorf("core: static analysis: %w", err)
+		return nil, nil, nil, nil, nil, fmt.Errorf("core: static analysis: %w", err)
 	}
 	scales := rt.SampleScales
 	if scales == nil {
@@ -140,11 +146,12 @@ func (rt *Runtime) analyzeAll(src string, reg *inputs.Registry) (*ast.Program, *
 	}
 	report, err := profile.RunScalesPool(prog, reg, scales, rt.Metrics, rt.Pool)
 	if err != nil {
-		return nil, nil, nil, nil, fmt.Errorf("core: sampling phase: %w", err)
+		return nil, nil, nil, nil, nil, fmt.Errorf("core: sampling phase: %w", err)
 	}
 	stop = rt.Metrics.Phase(metrics.PhasePlan)
 	estimates := plan.BuildEstimates(report.Predictions(), rt.Machine, codegen.Native)
 	cons := plan.Constraints{HostOnly: static.HostPinned()}
+	advisories := adviseEstimates(static, report, estimates, rt.Machine, cons.HostOnly)
 	planRes := plan.OptimalPool(estimates, cons, rt.Machine, rt.Pool)
 	stop()
 	if planRes.Planner != plan.PlannerOptimal {
@@ -153,16 +160,76 @@ func (rt *Runtime) analyzeAll(src string, reg *inputs.Registry) (*ast.Program, *
 		// raises the matching AV008 vet note statically.
 		rt.Metrics.Counter(metrics.MetricPlanOptimalFallback).Add(1)
 	}
-	return prog, static, report, planRes, nil
+	if n := prunedCount(advisories); n > 0 {
+		rt.Metrics.Counter(metrics.MetricPlanPrunedLines).Add(float64(n))
+	}
+	return prog, static, report, planRes, advisories, nil
+}
+
+// adviseEstimates runs the dynamic-input analysis passes over the
+// sampled estimates: the AV009 cross-check of fitted execution counts
+// against the proved static bounds, and the AV011 never-win proof —
+// whose lines it also pins into hostOnly (in place), shrinking the
+// Optimal enumeration. Pinning a never-win line provably preserves the
+// argmin (see plan.NeverWin), so this only makes planning cheaper.
+func adviseEstimates(static *analysis.Report, report *profile.Report, estimates []plan.LineEstimate, m plan.Machine, hostOnly map[int]string) []analysis.Diagnostic {
+	var ms []analysis.Measured
+	for _, p := range report.Predictions() {
+		ms = append(ms, analysis.Measured{Line: p.Line, Execs: p.Execs})
+	}
+	advisories := static.CheckMeasured(ms)
+	for _, pr := range plan.NeverWin(estimates, m) {
+		if _, already := hostOnly[pr.Line]; already {
+			continue
+		}
+		hostOnly[pr.Line] = pr.Reason
+		advisories = append(advisories, analysis.Diagnostic{
+			Line: pr.Line, Code: analysis.CodeNeverWin, Severity: analysis.SevWarning,
+			Msg: pr.Reason,
+		})
+	}
+	return advisories
+}
+
+// prunedCount counts the AV011 findings in an advisory set.
+func prunedCount(advisories []analysis.Diagnostic) int {
+	n := 0
+	for _, d := range advisories {
+		if d.Code == analysis.CodeNeverWin {
+			n++
+		}
+	}
+	return n
+}
+
+// Vet runs steps 1–3 and returns the full diagnostic stream: the static
+// lint catalogue (AV001–AV008, AV010) plus the dynamic-input advisories
+// the sampling phase unlocks (AV009 bound-vs-fit contradictions, AV011
+// never-win offloads). `activego vet -workloads` uses it so workload
+// linting sees everything the real pipeline would.
+func (rt *Runtime) Vet(src string, reg *inputs.Registry) ([]analysis.Diagnostic, error) {
+	_, static, _, _, advisories, err := rt.analyzeAll(src, reg)
+	if err != nil {
+		return nil, err
+	}
+	diags := static.Lint()
+	diags = append(diags, advisories...)
+	analysis.Sort(diags)
+	return diags, nil
 }
 
 // Run executes src over reg with the full ActivePy pipeline.
 func (rt *Runtime) Run(src string, reg *inputs.Registry, cfg Config) (*Outcome, error) {
-	prog, static, report, planRes, err := rt.analyzeAll(src, reg)
+	prog, static, report, planRes, advisories, err := rt.analyzeAll(src, reg)
 	if err != nil {
 		return nil, err
 	}
-	return rt.execute(prog, static, report, planRes, reg, cfg)
+	out, err := rt.execute(prog, static, report, planRes, reg, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Advisories = advisories
+	return out, nil
 }
 
 // RunWithPartition executes src with an externally chosen partition (the

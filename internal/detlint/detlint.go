@@ -1,0 +1,245 @@
+// Package detlint is the framework-tier static analyzer: a suite of
+// determinism lints run over this repository's own Go source, enforcing
+// at compile time the invariants the test suite otherwise discovers at
+// run time (bit-identical -j1 vs -jN, zero-fault ≡ clean, traced ≡
+// untraced).
+//
+// The pass model deliberately mirrors golang.org/x/tools/go/analysis —
+// an Analyzer owns a Run function over a type-checked Pass — but is
+// implemented on the standard library alone (go/ast + go/types, with
+// export data served by `go list -export`), so the linter builds in a
+// hermetic environment with no module downloads. cmd/detlint is the
+// command-line driver; the pass catalogue (DL001–DL005) is documented in
+// DESIGN.md §13, and a docs test pins the table to Catalogue below.
+//
+// Rules are scoped by package role rather than annotation:
+//
+//   - "deterministic" packages (the simulation kernel, planners, the
+//     parallel layer, fault/chaos/resilience, and the experiment
+//     harnesses) must not read wall clocks or unseeded randomness
+//     (DL001, DL005);
+//   - every package that renders output, manifests, or traces must not
+//     do so from an unordered map iteration (DL002);
+//   - metric and trace counter names must exist in the live catalogues
+//     (DL003), so a typo cannot mint an undocumented series;
+//   - the nil-is-inert observability types must actually be inert when
+//     nil (DL004).
+package detlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Severity ranks a diagnostic. detlint rules guard hard invariants, so
+// every built-in pass reports errors; the level exists so the JSON shape
+// matches the mini-language linter's.
+type Severity int
+
+// Severities.
+const (
+	SevWarning Severity = iota
+	SevError
+)
+
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warning"
+}
+
+// Diagnostic is one finding, addressable as file:line:col.
+type Diagnostic struct {
+	Pkg      string // import path of the offending package
+	File     string // file path as reported by the loader
+	Line     int
+	Col      int
+	Code     string // DL001…
+	Severity Severity
+	Msg      string
+}
+
+// Format renders the canonical `file:line:col: CODE: message` shape.
+func (d Diagnostic) Format() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Code, d.Msg)
+}
+
+// Analyzer is one detlint pass.
+type Analyzer struct {
+	Code string // diagnostic code the pass emits (DL001…)
+	Name string // short slug (determinism-sources…)
+	Doc  string // one-line summary, surfaced in DESIGN.md §13
+	Run  func(*Pass)
+}
+
+// Pass is one analyzer applied to one type-checked package.
+type Pass struct {
+	Cfg   Config
+	Pkg   *Package
+	diags *[]Diagnostic
+	an    *Analyzer
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Pkg:      p.Pkg.ImportPath,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Code:     p.an.Code,
+		Severity: SevError,
+		Msg:      fmt.Sprintf(format, args...),
+	})
+}
+
+// Config scopes the passes. The zero value is not useful; start from
+// DefaultConfig.
+type Config struct {
+	// DeterministicPkgs are the final import-path segments of packages
+	// whose outputs must be bit-deterministic: no wall clocks, no
+	// math/rand, seeded splitmix64 streams only.
+	DeterministicPkgs []string
+	// NilInert names the nil-is-inert observability types as
+	// "pkgsegment.Type"; every exported pointer-receiver method of such a
+	// type must tolerate a nil receiver (DL004).
+	NilInert []string
+	// OrderedSinks names types (as "pkgsegment.Type") whose method calls
+	// count as ordered output for DL002's map-range rule.
+	OrderedSinks []string
+	// CataloguedName reports whether a metric or trace counter name is
+	// catalogued; nil disables DL003's cross-check. The two catalogue
+	// domains are keyed by the emitting package segment ("metrics" or
+	// "trace").
+	CataloguedName map[string]func(name string) bool
+}
+
+// DefaultConfig scopes the passes to this repository's layering.
+func DefaultConfig() Config {
+	return Config{
+		DeterministicPkgs: []string{"sim", "plan", "par", "fault", "chaos", "resilience", "experiments"},
+		NilInert:          []string{"trace.Recorder", "par.Pool", "metrics.Registry"},
+		OrderedSinks: []string{
+			"report.Table", "trace.Recorder",
+			"metrics.Registry", "metrics.Counter", "metrics.Gauge", "metrics.Histogram",
+		},
+		// CataloguedName is installed by cmd/detlint and the tests; it is
+		// injected rather than imported here so the linter package itself
+		// has no dependency edge back into the framework it lints.
+		CataloguedName: nil,
+	}
+}
+
+// Deterministic reports whether the package at import path is held to
+// the bit-determinism contract.
+func (c Config) Deterministic(importPath string) bool {
+	seg := importPath
+	if i := strings.LastIndexByte(seg, '/'); i >= 0 {
+		seg = seg[i+1:]
+	}
+	for _, p := range c.DeterministicPkgs {
+		if seg == p {
+			return true
+		}
+	}
+	return false
+}
+
+// typeKey renders a named type as "pkgsegment.Type" for config matching.
+func typeKey(obj *types.TypeName) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	seg := obj.Pkg().Path()
+	if i := strings.LastIndexByte(seg, '/'); i >= 0 {
+		seg = seg[i+1:]
+	}
+	return seg + "." + obj.Name()
+}
+
+// namedOf unwraps pointers and aliases down to the named type, if any.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			return x
+		case *types.Alias:
+			t = types.Unalias(x)
+		default:
+			return nil
+		}
+	}
+}
+
+// Analyzers returns the full pass suite in catalogue order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DL001, DL002, DL003, DL004, DL005,
+	}
+}
+
+// Run applies every analyzer to every package and returns the combined
+// findings sorted by file, line, column, code.
+func Run(cfg Config, pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, an := range Analyzers() {
+			an.Run(&Pass{Cfg: cfg, Pkg: pkg, diags: &diags, an: an})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Msg < b.Msg
+	})
+	return diags
+}
+
+// PassInfo is one catalogue row — the source of truth for DESIGN.md
+// §13's tier-1 table, pinned by a docs test.
+type PassInfo struct {
+	Code    string
+	Name    string
+	Doc     string
+	Scope   string // which packages the pass applies to
+}
+
+// Catalogue returns the pass catalogue in documentation order.
+func Catalogue() []PassInfo {
+	scopeDet := "deterministic packages"
+	out := []PassInfo{
+		{DL001.Code, DL001.Name, DL001.Doc, scopeDet},
+		{DL002.Code, DL002.Name, DL002.Doc, "all packages"},
+		{DL003.Code, DL003.Name, DL003.Doc, "all packages"},
+		{DL004.Code, DL004.Name, DL004.Doc, "nil-is-inert types"},
+		{DL005.Code, DL005.Name, DL005.Doc, scopeDet},
+	}
+	return out
+}
+
+// walkFiles applies fn to every top-level declaration's AST in the
+// package, file by file.
+func (p *Pass) walkFiles(fn func(file *ast.File)) {
+	for _, f := range p.Pkg.Files {
+		fn(f)
+	}
+}

@@ -1,0 +1,150 @@
+// The package loader: a minimal, hermetic stand-in for
+// golang.org/x/tools/go/packages built on `go list` and the standard
+// library's export-data importer. Target packages are parsed and
+// type-checked from source; their dependencies (including the standard
+// library) are loaded from compiler export data, which `go list -export`
+// materializes in the build cache without any network access.
+package detlint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON package stream.
+func goList(dir string, args ...string) ([]listPkg, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("detlint: go %v: %v\n%s", args, err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("detlint: decode go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load type-checks the packages matching patterns (resolved relative to
+// dir, e.g. "./..."), with dependencies served from export data. The
+// standard library and test files are never targets: detlint lints the
+// framework's production source.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// One -deps walk provides export data for every dependency and
+	// compiles anything stale; the listed targets themselves are in the
+	// stream too, marked by matching import paths from the plain listing.
+	depArgs := append([]string{"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Name,Export,GoFiles,Standard,Error"}, patterns...)
+	deps, err := goList(dir, depArgs...)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range deps {
+		if p.Error != nil {
+			return nil, fmt.Errorf("detlint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	targetArgs := append([]string{"list",
+		"-json=ImportPath,Dir,Name,GoFiles,Standard,Error"}, patterns...)
+	targets, err := goList(dir, targetArgs...)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("detlint: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var out []*Package
+	for _, t := range targets {
+		if t.Standard || len(t.GoFiles) == 0 {
+			continue
+		}
+		if t.Error != nil {
+			return nil, fmt.Errorf("detlint: %s: %s", t.ImportPath, t.Error.Err)
+		}
+		var files []*ast.File
+		for _, g := range t.GoFiles {
+			af, err := parser.ParseFile(fset, filepath.Join(t.Dir, g), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("detlint: parse: %w", err)
+			}
+			files = append(files, af)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("detlint: typecheck %s: %w", t.ImportPath, err)
+		}
+		out = append(out, &Package{
+			ImportPath: t.ImportPath,
+			Dir:        t.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		})
+	}
+	return out, nil
+}

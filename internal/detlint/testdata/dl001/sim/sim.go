@@ -1,0 +1,16 @@
+// Package sim is a detlint fixture: a "deterministic" package (the
+// final path segment matches the sim kernel's) that reads the wall
+// clock and imports math/rand. DL001 must fire on all three sites.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Elapsed breaks the determinism contract twice: it samples the wall
+// clock and derives a value from the global RNG.
+func Elapsed(start time.Time) float64 {
+	jitter := rand.Float64()
+	return time.Since(start).Seconds() + time.Now().Sub(start).Seconds() + jitter
+}

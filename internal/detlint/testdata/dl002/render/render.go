@@ -1,0 +1,19 @@
+// Package render is a detlint fixture: output and metric sinks driven
+// from a range over a map, whose iteration order the runtime
+// randomizes. DL002 must fire on the fmt call and the sink method call.
+package render
+
+import (
+	"fmt"
+
+	"activego/internal/metrics"
+)
+
+// Dump emits one line and one counter bump per map entry — in a
+// different order every run.
+func Dump(rows map[string]int, reg *metrics.Registry) {
+	for name, n := range rows {
+		fmt.Printf("%s: %d\n", name, n)
+		reg.Counter(metrics.MetricExecRuns).Add(float64(n))
+	}
+}

@@ -1,0 +1,23 @@
+// Package trace is a detlint fixture: a type carrying the nil-is-inert
+// contract (its key "trace.Recorder" matches the real recorder's) whose
+// exported methods dereference the receiver without a nil check. DL004
+// must fire on Bump and stay silent on the guarded Count and the
+// delegating Twice.
+package trace
+
+// Recorder mimics the shape of the real nil-is-inert recorder.
+type Recorder struct{ n int }
+
+// Bump dereferences the receiver unguarded: a nil *Recorder panics.
+func (r *Recorder) Bump() { r.n++ }
+
+// Count is the contract done right.
+func (r *Recorder) Count() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Twice only delegates; the guarded callee absorbs nil.
+func (r *Recorder) Twice() int { return r.Count() * 2 }

@@ -1,0 +1,20 @@
+// Package plan is a detlint fixture: a "deterministic" package (final
+// segment matches the planner's) passing compile-time constant seeds to
+// the sanctioned splitmix64 constructors. DL005 must fire on the two
+// literal seeds and stay silent on the flowed one.
+package plan
+
+import "activego/internal/fault"
+
+// hardwired is the anti-pattern: a named constant is still a
+// compile-time seed nothing outside this file can change.
+const hardwired = 7
+
+// Streams derives three stream seeds: two frozen (violations) and one
+// flowed in from the caller.
+func Streams(seed uint64) (a, b, c uint64) {
+	a = fault.Mix64(42)
+	b = fault.Mix64(hardwired)
+	c = fault.Mix64(seed)
+	return
+}

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"testing"
 
+	"activego/internal/analysis"
+	"activego/internal/detlint"
 	"activego/internal/metrics"
 	"activego/internal/trace"
 )
@@ -172,6 +174,88 @@ func TestCounterCatalogueMatchesDesignDoc(t *testing.T) {
 	for name := range documented {
 		if !trace.Catalogued(name) {
 			t.Errorf("counter %q is documented in DESIGN.md §9 but missing from trace.Catalogue()", name)
+		}
+	}
+}
+
+// designSection returns the body of DESIGN.md section n (text between
+// "## n." and the next "## ").
+func designSection(t *testing.T, n string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(root, "DESIGN.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sect, found := strings.Cut(string(data), "\n## "+n+".")
+	if !found {
+		t.Fatalf("DESIGN.md has no §%s", n)
+	}
+	if i := strings.Index(sect, "\n## "); i >= 0 {
+		sect = sect[:i]
+	}
+	return sect
+}
+
+// passRow matches one data row of the DESIGN.md §13 detlint pass table:
+// | `DL001` | name | scope | rule |
+var passRow = regexp.MustCompile("^\\|\\s*`(DL[0-9]{3})`\\s*\\|\\s*([^|]+?)\\s*\\|\\s*([^|]+?)\\s*\\|\\s*([^|]+?)\\s*\\|")
+
+// TestDetlintCatalogueMatchesDesignDoc pins DESIGN.md §13's pass table
+// to detlint.Catalogue(), both directions — the §9/§10 enforcement
+// pattern extended to the repo's own linter tier.
+func TestDetlintCatalogueMatchesDesignDoc(t *testing.T) {
+	sect := designSection(t, "13")
+	type row struct{ name, scope, doc string }
+	documented := map[string]row{}
+	for _, line := range strings.Split(sect, "\n") {
+		if m := passRow.FindStringSubmatch(line); m != nil {
+			documented[m[1]] = row{name: m[2], scope: m[3], doc: m[4]}
+		}
+	}
+
+	cat := detlint.Catalogue()
+	if len(documented) != len(cat) {
+		t.Errorf("DESIGN.md §13 documents %d passes, detlint.Catalogue() has %d", len(documented), len(cat))
+	}
+	byCode := map[string]bool{}
+	for _, p := range cat {
+		byCode[p.Code] = true
+		doc, ok := documented[p.Code]
+		if !ok {
+			t.Errorf("pass %q is in detlint.Catalogue() but not in DESIGN.md §13", p.Code)
+			continue
+		}
+		if doc.name != p.Name {
+			t.Errorf("pass %q: DESIGN.md name %q, code name %q", p.Code, doc.name, p.Name)
+		}
+		if doc.scope != p.Scope {
+			t.Errorf("pass %q: DESIGN.md scope %q, code scope %q", p.Code, doc.scope, p.Scope)
+		}
+		if doc.doc != p.Doc {
+			t.Errorf("pass %q: DESIGN.md says %q, code says %q", p.Code, doc.doc, p.Doc)
+		}
+	}
+	for code := range documented {
+		if !byCode[code] {
+			t.Errorf("pass %q is documented in DESIGN.md §13 but missing from detlint.Catalogue()", code)
+		}
+	}
+}
+
+// TestLintCodesDocumentedInDesignDoc requires every AV diagnostic code
+// the analysis package can emit to appear in DESIGN.md §8's rule table.
+func TestLintCodesDocumentedInDesignDoc(t *testing.T) {
+	sect := designSection(t, "8")
+	codes := []string{
+		analysis.CodeUndefined, analysis.CodeUnknownFunc, analysis.CodeArity,
+		analysis.CodeDeadStore, analysis.CodeLoopInvariant, analysis.CodeUnreachable,
+		analysis.CodeStrayBreak, analysis.CodeOptimalFallback, analysis.CodeBoundMismatch,
+		analysis.CodeUnboundedLoop, analysis.CodeNeverWin,
+		analysis.CodeIllegalOffload, analysis.CodeUnknownLine, analysis.CodePingPong,
+	}
+	for _, c := range codes {
+		if !strings.Contains(sect, "| "+c+" |") {
+			t.Errorf("diagnostic code %s has no row in DESIGN.md §8's rule table", c)
 		}
 	}
 }

@@ -36,6 +36,7 @@ type Option func(*options)
 type options struct {
 	metrics *metrics.Registry
 	pool    *par.Pool
+	seed    uint64
 }
 
 // WithMetrics instruments the harness with the registry: pipeline phase
@@ -55,6 +56,24 @@ func WithMetrics(reg *metrics.Registry) Option {
 // bit-identical to the serial run — TestParallelInvariance pins it.
 func WithPool(p *par.Pool) Option {
 	return func(o *options) { o.pool = p }
+}
+
+// WithSeed overrides the experiment's documented default fault seed
+// (RobustnessSeed / ResilienceSeed). Zero means "use the default"; any
+// other value reseeds every fault plan and backoff schedule in the
+// sweep, which is how callers (flags, sweeps over seeds) control
+// reproducibility from outside the harness.
+func WithSeed(seed uint64) Option {
+	return func(o *options) { o.seed = seed }
+}
+
+// seedOr resolves the harness seed: the caller's WithSeed if set,
+// otherwise the experiment's documented default.
+func (o options) seedOr(def uint64) uint64 {
+	if o.seed != 0 {
+		return o.seed
+	}
+	return def
 }
 
 func buildOptions(opts []Option) options {

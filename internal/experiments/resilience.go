@@ -156,13 +156,13 @@ func (wb *Workbench) resilienceRetry() nvme.RetryPolicy {
 // one deadline miss is already a reliable signal, and a cheap half-open
 // probe corrects any false open one cooldown later. The cooldown is
 // chosen against the burst length by the caller.
-func resiliencePolicy(retry nvme.RetryPolicy, cooldown float64) resilience.Policy {
+func resiliencePolicy(seed uint64, retry nvme.RetryPolicy, cooldown float64) resilience.Policy {
 	return resilience.Policy{
 		LineDeadline: 1.2 * retry.Timeout,
 		LineRetries:  1,
 		Backoff: resilience.Backoff{
 			Base: retry.Timeout / 8, Factor: 2, Cap: retry.Timeout / 2,
-			Jitter: 0.25, Seed: ResilienceSeed,
+			Jitter: 0.25, Seed: seed,
 		},
 		Breaker: resilience.BreakerPolicy{Threshold: 1, Cooldown: cooldown},
 	}
@@ -210,14 +210,14 @@ func (b resilienceBursts) install(p *platform.Platform, rate float64) []fault.Ru
 
 // runResilienceArm executes one arm of one cell on a fresh platform
 // with the bursts scheduled and the plan installed.
-func (wb *Workbench) runResilienceArm(bursts resilienceBursts, rate float64,
+func (wb *Workbench) runResilienceArm(seed uint64, bursts resilienceBursts, rate float64,
 	retry nvme.RetryPolicy, opts exec.Options, rec *trace.Recorder) (*exec.Result, error) {
 	p := platform.Default()
 	if rec != nil {
 		p.SetRecorder(rec)
 	}
 	rules := bursts.install(p, rate)
-	plan, err := fault.NewPlanChecked(ResilienceSeed, rules...)
+	plan, err := fault.NewPlanChecked(seed, rules...)
 	if err != nil {
 		return nil, err
 	}
@@ -255,7 +255,7 @@ func ChaosSweep(params workloads.Params, seed uint64, n int, opts ...Option) (*c
 		Trace:         wb.Trace,
 		Partition:     wb.Plan.Partition,
 		Backend:       codegen.Native,
-		Policy:        resiliencePolicy(retry, 4*retry.Timeout),
+		Policy:        resiliencePolicy(seed, retry, 4*retry.Timeout),
 		Retry:         retry,
 		OverheadScale: wb.Params.OverheadScale(),
 		Params:        chaos.ScheduleParams{MaxRate: 1.0},
@@ -270,6 +270,7 @@ func ChaosSweep(params workloads.Params, seed uint64, n int, opts ...Option) (*c
 // same clean duration.
 func Resilience(params workloads.Params, opts ...Option) (*ResilienceResult, *report.Table, error) {
 	o := buildOptions(opts)
+	seed := o.seedOr(ResilienceSeed)
 	maxRate := ResilienceRates[len(ResilienceRates)-1]
 	type perSpec struct {
 		rows  []ResilienceRow
@@ -290,22 +291,22 @@ func Resilience(params workloads.Params, opts ...Option) (*ResilienceResult, *re
 
 		// Armed-but-idle breaker run: the control duration that also
 		// calibrates the burst timeline and the breaker cooldown.
-		pol := resiliencePolicy(retry, 0)
-		clean, err := wb.runResilienceArm(resilienceBursts{}, 0, retry,
+		pol := resiliencePolicy(seed, retry, 0)
+		clean, err := wb.runResilienceArm(seed, resilienceBursts{}, 0, retry,
 			exec.Options{Resilience: &pol}, nil)
 		if err != nil {
 			return perSpec{}, fmt.Errorf("experiments: resilience: %s control: %w", name, err)
 		}
 		bursts := burstsFor(clean.Duration, retry.Timeout)
-		pol = resiliencePolicy(retry, bursts.dur)
+		pol = resiliencePolicy(seed, retry, bursts.dur)
 
 		out := perSpec{}
 		for _, rate := range ResilienceRates {
 			row := ResilienceRow{Workload: name, Rate: rate}
-			static, serr := wb.runResilienceArm(bursts, rate, retry, exec.Options{
+			static, serr := wb.runResilienceArm(seed, bursts, rate, retry, exec.Options{
 				Recovery: exec.RecoveryPolicy{Enabled: true, LineRetries: 1},
 			}, nil)
-			oneshot, oerr := wb.runResilienceArm(bursts, rate, retry, exec.Options{
+			oneshot, oerr := wb.runResilienceArm(seed, bursts, rate, retry, exec.Options{
 				Recovery: exec.DefaultRecovery(),
 			}, nil)
 			var rec *trace.Recorder
@@ -313,7 +314,7 @@ func Resilience(params workloads.Params, opts ...Option) (*ResilienceResult, *re
 				rec = trace.New()
 				out.rec = rec
 			}
-			breaker, berr := wb.runResilienceArm(bursts, rate, retry, exec.Options{
+			breaker, berr := wb.runResilienceArm(seed, bursts, rate, retry, exec.Options{
 				Resilience: &pol,
 			}, rec)
 			if rate == 0 && (serr != nil || oerr != nil || berr != nil) {
@@ -343,7 +344,7 @@ func Resilience(params workloads.Params, opts ...Option) (*ResilienceResult, *re
 		// the same trace and ladder.
 		if name == ResilienceTraceWorkload {
 			rep, err := chaos.Run(chaos.Config{
-				Seed:          ResilienceSeed,
+				Seed:          seed,
 				Schedules:     ResilienceChaosSchedules,
 				Trace:         wb.Trace,
 				Partition:     wb.Plan.Partition,

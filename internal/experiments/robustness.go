@@ -73,16 +73,16 @@ func (r *RobustnessResult) CompletedAll(rate float64) bool {
 // flash errors stretch reads, and a bounded trickle of uncorrectable
 // errors forces real line failures without making the host path — the
 // unit of last resort — permanently unusable.
-func robustnessPlan(rate float64) *fault.Plan {
+func robustnessPlan(seed uint64, rate float64) *fault.Plan {
 	if rate <= 0 {
 		// Armed-but-idle control: rules present, probability zero. The
 		// acceptance bar is that this reproduces the bare run exactly.
-		return fault.NewPlan(RobustnessSeed,
+		return fault.NewPlan(seed,
 			fault.Rule{Point: fault.NVMeCompletionDrop, Rate: 0},
 			fault.Rule{Point: fault.FlashTransient, Rate: 0},
 		)
 	}
-	return fault.NewPlan(RobustnessSeed,
+	return fault.NewPlan(seed,
 		fault.Rule{Point: fault.NVMeCompletionDrop, Rate: rate},
 		fault.Rule{Point: fault.NVMeCommandLoss, Rate: rate / 2},
 		fault.Rule{Point: fault.FlashTransient, Rate: rate},
@@ -137,6 +137,7 @@ func (wb *Workbench) RunRobust(plan *fault.Plan) (*exec.Result, error) {
 // check: its durations must equal the clean runs bit-for-bit.
 func Robustness(params workloads.Params, opts ...Option) (*RobustnessResult, *report.Table, error) {
 	o := buildOptions(opts)
+	seed := o.seedOr(RobustnessSeed)
 	perSpec, err := overSpecs(o, len(RobustnessWorkloads), func(i int, sopts []Option) ([]RobustnessRow, error) {
 		name := RobustnessWorkloads[i]
 		spec, ok := workloads.ByName(name)
@@ -151,7 +152,7 @@ func Robustness(params workloads.Params, opts ...Option) (*RobustnessResult, *re
 		var clean float64
 		for _, rate := range RobustnessRates {
 			row := RobustnessRow{Workload: name, Rate: rate}
-			r, err := wb.RunRobust(robustnessPlan(rate))
+			r, err := wb.RunRobust(robustnessPlan(seed, rate))
 			if err == nil {
 				row.Completed = true
 				row.Duration = r.Duration

@@ -1,0 +1,32 @@
+package profile
+
+import (
+	"testing"
+
+	"activego/internal/lang/parser"
+)
+
+// TestExecsFitPinsPredict guarantees the AV009 cross-check and the
+// planner consume the same curve: ExecsFit is the exact model Predict's
+// Execs field evaluates, at every scale.
+func TestExecsFitPinsPredict(t *testing.T) {
+	prog, err := parser.Parse(linearProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(prog, buildRegistry(1<<14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Lines) == 0 {
+		t.Fatal("no line profiles")
+	}
+	scales := append([]float64{1}, Scales...)
+	for _, lp := range rep.Lines {
+		for _, s := range scales {
+			if got, want := lp.ExecsFit().Predict(s), lp.Predict(s).Execs; got != want {
+				t.Errorf("line %d scale %g: ExecsFit predicts %g, Predict.Execs %g", lp.Line, s, got, want)
+			}
+		}
+	}
+}

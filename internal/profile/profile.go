@@ -114,6 +114,13 @@ type Prediction struct {
 	Writes       []VarBytes // per-variable write volumes, sorted by name
 }
 
+// ExecsFit exposes the fitted execution-count model — the exact curve
+// Predict's Execs field evaluates. The AV009 static-vs-measured
+// cross-check consumes fitted counts; this accessor (and the test
+// pinning Predict to it) guarantees the check and the planner read the
+// same internal/fit curve rather than two drifting copies.
+func (lp *LineProfile) ExecsFit() fit.Model { return lp.Models[mExecs] }
+
 // Predict evaluates the fitted models at the given scale (1 = raw input).
 func (lp *LineProfile) Predict(scale float64) Prediction {
 	p := Prediction{
