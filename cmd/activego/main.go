@@ -8,6 +8,7 @@
 //	activego -workload tpch-6 [-scalediv N] [-seed S] [-availability F] [-no-migration]
 //	         [-resilience] [-trace out.json] [-tracesummary] [-metrics out.json]
 //	         [-pprof cpu.pb] [-memprofile mem.pb]
+//	activego -workload tpch-6 -serve [-tenants N] [-arrival P] [-qps Q] [-duration D]
 //	activego -list
 //	activego vet program.apy...          # static analysis / lint
 //	activego vet -workloads              # lint every embedded workload
@@ -23,6 +24,8 @@ import (
 	"activego/internal/cliutil"
 	"activego/internal/codegen"
 	"activego/internal/core"
+	"activego/internal/driver"
+	"activego/internal/exec"
 	"activego/internal/inputs"
 	"activego/internal/platform"
 	"activego/internal/profile"
@@ -42,7 +45,9 @@ func main() {
 	noMigration := flag.Bool("no-migration", false, "disable dynamic task migration")
 	withResilience := flag.Bool("resilience", false, "arm the full degradation ladder (deadlines, backoff, circuit breaker) on the offload path")
 	showProfile := flag.Bool("profile", false, "print the sampling-phase curve fits per line")
+	serve := flag.Bool("serve", false, "drive a multi-tenant serving run of the workload (DESIGN.md §14) instead of one pipeline pass")
 	obs := cliutil.Register(flag.CommandLine)
+	srv := cliutil.RegisterServing(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -60,6 +65,14 @@ func main() {
 		fail(fmt.Errorf("unknown workload %q", *workload))
 	}
 	params := workloads.Params{ScaleDiv: *scaleDiv, Seed: *seed}
+	if *serve {
+		var pol *resilience.Policy
+		if *withResilience {
+			p := resilience.Default(uint64(*seed))
+			pol = &p
+		}
+		os.Exit(runServe(spec.Name, params, obs, srv, uint64(*seed), pol))
+	}
 	inst := spec.Build(params)
 
 	if err := obs.Start(); err != nil {
@@ -139,6 +152,95 @@ func main() {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "activego:", err)
 	os.Exit(1)
+}
+
+// runServe is the -serve mode: build the workload once as a serving
+// scenario, split the offered load across -tenants request streams, and
+// drive them all at one long-lived platform through the serving driver.
+// Unset serving flags fall back to the same conventions as the -exp
+// serving study: offered rate calibrated from the solo warm service
+// time, horizon sized for ~48 requests.
+func runServe(name string, params workloads.Params, obs *cliutil.Flags,
+	srv *cliutil.ServingFlags, seed uint64, pol *resilience.Policy) int {
+	if err := obs.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "activego:", err)
+		return 1
+	}
+	sc, err := driver.Build(name, params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "activego:", err)
+		return 1
+	}
+	mix, err := driver.NewMix(driver.MixEntry{Scenario: sc, Weight: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "activego:", err)
+		return 1
+	}
+	solo, err := exec.Run(platform.Default(), sc.Trace, exec.Options{
+		Backend: sc.Backend, Partition: sc.Partition, Estimates: sc.Estimates,
+		OverheadScale: sc.OverheadScale, UseCallQueue: true, Warm: true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "activego:", err)
+		return 1
+	}
+	const maxInFlight = 4
+	totalQPS := srv.QPS
+	if totalQPS <= 0 {
+		totalQPS = maxInFlight / solo.Duration
+	}
+	duration := srv.Duration
+	if duration <= 0 {
+		duration = 48 / totalQPS
+	}
+	nTenants := srv.Tenants
+	if nTenants <= 0 {
+		nTenants = 2
+	}
+	proc := driver.Process(srv.Arrival)
+	if proc == "" {
+		proc = driver.Poisson
+	}
+	tenants := make([]driver.TenantConfig, nTenants)
+	for i := range tenants {
+		tenants[i] = driver.TenantConfig{
+			Name: fmt.Sprintf("tenant%d", i),
+			Mix:  mix,
+			Arrival: driver.Arrival{
+				Process: proc, QPS: totalQPS / float64(nTenants),
+				BurstFactor: 4, DutyCycle: 0.25, Period: duration / 4,
+				Workers: maxInFlight, Think: solo.Duration / 2,
+			},
+		}
+	}
+	p := platform.Default()
+	if rec := obs.Recorder(); rec != nil {
+		p.SetRecorder(rec)
+	}
+	fmt.Printf("serving %s: %d tenants, %s arrivals, %.1f req/s offered over %.4fs (solo service %.4fs)\n",
+		name, nTenants, proc, totalQPS, duration, solo.Duration)
+	res, err := driver.Run(p, driver.Config{
+		Seed: seed, Duration: duration, Tenants: tenants,
+		MaxInFlight: maxInFlight, Resilience: pol, Metrics: obs.Registry(),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "activego:", err)
+		return 1
+	}
+	fmt.Printf("%-10s %8s %8s %6s %6s %9s %9s %9s\n",
+		"tenant", "offered", "done", "fail", "shed", "p50", "p95", "p99")
+	for _, tr := range res.Tenants {
+		fmt.Printf("%-10s %8d %8d %6d %6d %8.4fs %8.4fs %8.4fs\n",
+			tr.Name, tr.Offered, tr.Completed, tr.Failed, tr.Shed, tr.P50, tr.P95, tr.P99)
+	}
+	fmt.Printf("makespan %.4fs, fairness %.3f (Jain over completed/offered)\n",
+		res.Makespan, res.Fairness)
+	p.FoldMetrics(obs.Registry())
+	if err := obs.Finish(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "activego:", err)
+		return 1
+	}
+	return 0
 }
 
 // runVet implements `activego vet`: the static-analysis lint surface.

@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	benchsuite [-exp all|table1|fig2|fig4|fig5|accuracy|runtimeopt|robustness|utilization]
+//	benchsuite [-exp all|table1|fig2|fig4|fig5|accuracy|runtimeopt|robustness|resilience|utilization|serving]
 //	           [-scalediv N] [-seed S] [-outdir DIR] [-metrics out.json]
+//	           [-tenants N] [-arrival poisson|bursty|uniform|closed] [-qps Q] [-duration D]
 //	           [-httpmon addr] [-pprof cpu.pb] [-memprofile mem.pb]
 //	           [-trace out.json] [-tracesummary]
 //	benchsuite -compare old.json new.json [-tolerance 0.10]
@@ -40,7 +41,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, fig2, fig4, fig5, accuracy, runtimeopt, robustness, resilience, utilization")
+	exp := flag.String("exp", "all", "experiment: all, table1, fig2, fig4, fig5, accuracy, runtimeopt, robustness, resilience, utilization, serving")
 	chaosN := flag.Int("chaos", 0, "run N extra randomized chaos fault schedules after the resilience experiment (0 = just the built-in sub-run)")
 	chaosSeed := flag.Uint64("chaos-seed", experiments.ResilienceSeed, "seed for the -chaos schedule sweep")
 	scaleDiv := flag.Int64("scalediv", 512, "divide Table I input sizes by this factor")
@@ -50,6 +51,7 @@ func main() {
 	tolerance := flag.Float64("tolerance", bench.DefaultTolerance, "with -compare: allowed fractional worsening per tracked value")
 	obs := cliutil.Register(flag.CommandLine)
 	obs.RegisterMonitor(flag.CommandLine)
+	serving := cliutil.RegisterServing(flag.CommandLine)
 	flag.Parse()
 
 	if *compare {
@@ -143,6 +145,23 @@ func main() {
 			metrics.ObserveRecording(sub, res.Rec)
 			return res.Bench(params), nil
 		},
+		"serving": func(mopts []experiments.Option, sub *metrics.Registry, out io.Writer) (*bench.Manifest, error) {
+			mopts = append(mopts, experiments.WithServing(experiments.ServingOverrides{
+				Tenants:  serving.Tenants,
+				Arrival:  serving.Arrival,
+				QPS:      serving.QPS,
+				Duration: serving.Duration,
+			}))
+			res, tbl, err := experiments.Serving(params, mopts...)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprint(out, tbl.String())
+			fmt.Fprintf(out, "capacity: %.1f req/s (mix-weighted solo service %.4fs)\n",
+				res.CapacityQPS, res.MeanService)
+			metrics.ObserveRecording(sub, res.Rec)
+			return res.Bench(params), nil
+		},
 		"utilization": func(mopts []experiments.Option, sub *metrics.Registry, out io.Writer) (*bench.Manifest, error) {
 			u, tbl, err := experiments.Utilization(params, mopts...)
 			if err != nil {
@@ -174,7 +193,7 @@ func main() {
 			return u.Bench(params), nil
 		},
 	}
-	order := []string{"table1", "fig2", "fig4", "fig5", "accuracy", "runtimeopt", "robustness", "resilience", "utilization"}
+	order := []string{"table1", "fig2", "fig4", "fig5", "accuracy", "runtimeopt", "robustness", "resilience", "utilization", "serving"}
 
 	names := order
 	if *exp != "all" {

@@ -11,6 +11,7 @@
 //	       [-trace out.json] [-tracesummary] [-metrics out.json]
 //	       [-pprof cpu.pb] [-memprofile mem.pb]
 //	csdsim -chaos N [-chaos-seed S]  # N randomized device-level fault schedules
+//	csdsim -serve [-tenants N] [-arrival P] [-qps Q] [-duration D]
 //	csdsim -lint program.apy...      # static-analysis lint, no simulation
 package main
 
@@ -23,6 +24,7 @@ import (
 	"activego/internal/chaos"
 	"activego/internal/cliutil"
 	"activego/internal/csd"
+	"activego/internal/driver"
 	"activego/internal/fault"
 	"activego/internal/nvme"
 	"activego/internal/platform"
@@ -42,7 +44,9 @@ func main() {
 	retryTimeout := flag.Float64("retry-timeout", 0.05, "host completion timer, seconds (with -fault-rate > 0)")
 	chaosN := flag.Int("chaos", 0, "run N randomized device-level fault schedules instead of the benchmark")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the -chaos schedule sweep")
+	serve := flag.Bool("serve", false, "drive a multi-tenant serving run of synthetic device requests (DESIGN.md §14) instead of the benchmark")
 	obs := cliutil.Register(flag.CommandLine)
+	srv := cliutil.RegisterServing(flag.CommandLine)
 	flag.Parse()
 
 	if *lint {
@@ -50,6 +54,9 @@ func main() {
 	}
 	if *chaosN > 0 {
 		os.Exit(runDeviceChaos(*chaosN, *chaosSeed, *retryTimeout))
+	}
+	if *serve {
+		os.Exit(runDeviceServe(obs, srv, *faultSeed, *faultRate, *retryTimeout))
 	}
 
 	if err := obs.Start(); err != nil {
@@ -199,6 +206,106 @@ func runDeviceChaos(n int, seed uint64, retryTimeout float64) int {
 	}
 	fmt.Printf("chaos: %d device schedules, %d with observable faults, %d violations\n", n, faulted, violations)
 	if violations > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runDeviceServe is the -serve mode: the multi-tenant serving driver
+// pointed at the bare device, with driver.Synthetic request shapes
+// instead of compiled workloads — a point-read-heavy mix plus a scan
+// tenant, so admission control and fairness can be inspected on the
+// substrate without the language stack on top. -fault-rate arms the
+// same fault plan as the benchmark path underneath the traffic.
+func runDeviceServe(obs *cliutil.Flags, srv *cliutil.ServingFlags,
+	seed uint64, faultRate, retryTimeout float64) int {
+	if err := obs.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "csdsim:", err)
+		return 1
+	}
+	point := driver.Synthetic("point-read", 4, 5e5, 1<<18)
+	scan := driver.Synthetic("scan", 8, 4e6, 1<<22)
+	mixed, err := driver.NewMix(
+		driver.MixEntry{Scenario: point, Weight: 4},
+		driver.MixEntry{Scenario: scan, Weight: 1},
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csdsim:", err)
+		return 1
+	}
+	scans, err := driver.NewMix(driver.MixEntry{Scenario: scan, Weight: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csdsim:", err)
+		return 1
+	}
+	totalQPS := srv.QPS
+	if totalQPS <= 0 {
+		totalQPS = 400
+	}
+	duration := srv.Duration
+	if duration <= 0 {
+		duration = 48 / totalQPS
+	}
+	nTenants := srv.Tenants
+	if nTenants <= 0 {
+		nTenants = 2
+	}
+	proc := driver.Process(srv.Arrival)
+	if proc == "" {
+		proc = driver.Poisson
+	}
+	tenants := make([]driver.TenantConfig, nTenants)
+	for i := range tenants {
+		mix := mixed
+		name := fmt.Sprintf("points%d", i)
+		if i == nTenants-1 && nTenants > 1 {
+			mix, name = scans, "scans"
+		}
+		tenants[i] = driver.TenantConfig{
+			Name: name,
+			Mix:  mix,
+			Arrival: driver.Arrival{
+				Process: proc, QPS: totalQPS / float64(nTenants),
+				BurstFactor: 4, DutyCycle: 0.25, Period: duration / 4,
+				Workers: 4, Think: 1 / totalQPS,
+			},
+		}
+	}
+	p := platform.Default()
+	if rec := obs.Recorder(); rec != nil {
+		p.SetRecorder(rec)
+	}
+	if faultRate > 0 {
+		p.InstallFaults(fault.NewPlan(seed,
+			fault.Rule{Point: fault.NVMeCompletionDrop, Rate: faultRate},
+			fault.Rule{Point: fault.NVMeCommandLoss, Rate: faultRate / 2},
+			fault.Rule{Point: fault.FlashTransient, Rate: faultRate},
+		), nvme.RetryPolicy{Timeout: retryTimeout, MaxAttempts: 4, Backoff: 1e-3})
+	}
+	fmt.Printf("serving synthetic device traffic: %d tenants, %s arrivals, %.1f req/s offered over %.4fs\n",
+		nTenants, proc, totalQPS, duration)
+	res, err := driver.Run(p, driver.Config{
+		Seed: seed, Duration: duration, Tenants: tenants,
+		MaxInFlight: 4, Metrics: obs.Registry(),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csdsim:", err)
+		return 1
+	}
+	fmt.Printf("%-10s %8s %8s %6s %6s %9s %9s %9s\n",
+		"tenant", "offered", "done", "fail", "shed", "p50", "p95", "p99")
+	for _, tr := range res.Tenants {
+		fmt.Printf("%-10s %8d %8d %6d %6d %8.4fs %8.4fs %8.4fs\n",
+			tr.Name, tr.Offered, tr.Completed, tr.Failed, tr.Shed, tr.P50, tr.P95, tr.P99)
+	}
+	fmt.Printf("makespan %.4fs, fairness %.3f (Jain over completed/offered)\n",
+		res.Makespan, res.Fairness)
+	retired, rate := p.Dev.PerfCounters()
+	fmt.Printf("perf counters: retired=%.3g units, effective rate=%.3g units/s/core; events fired: %d\n",
+		retired, rate, p.Sim.EventsFired())
+	p.FoldMetrics(obs.Registry())
+	if err := obs.Finish(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "csdsim:", err)
 		return 1
 	}
 	return 0

@@ -70,6 +70,28 @@ func (f *Flags) RegisterMonitor(fs *flag.FlagSet) {
 	fs.StringVar(&f.HTTPMon, "httpmon", "", "serve expvar, net/http/pprof, and a live /metrics snapshot on this address while running (e.g. localhost:8080)")
 }
 
+// ServingFlags is the shared flag surface of the multi-tenant serving
+// driver (DESIGN.md §14): the same -tenants/-arrival/-qps/-duration
+// knobs in every command that can drive traffic. Zero values mean "use
+// the study's documented defaults", so committed baselines are
+// unaffected by the flags' existence.
+type ServingFlags struct {
+	Tenants  int     // -tenants: tenant population size (0 = default population)
+	Arrival  string  // -arrival: force one arrival process on every tenant
+	QPS      float64 // -qps: total offered rate at load 1.0, req/simulated second
+	Duration float64 // -duration: arrival horizon in simulated seconds
+}
+
+// RegisterServing installs the serving-driver flags on fs.
+func RegisterServing(fs *flag.FlagSet) *ServingFlags {
+	s := &ServingFlags{}
+	fs.IntVar(&s.Tenants, "tenants", 0, "serving: number of tenants (0 = the study's default population)")
+	fs.StringVar(&s.Arrival, "arrival", "", "serving: force every tenant's arrival process (poisson, bursty, uniform, closed; empty = per-tenant defaults)")
+	fs.Float64Var(&s.QPS, "qps", 0, "serving: total offered rate at load 1.0 in requests per simulated second (0 = calibrate from solo service times)")
+	fs.Float64Var(&s.Duration, "duration", 0, "serving: arrival horizon in simulated seconds (0 = derive from the request target)")
+	return s
+}
+
 // WantTrace reports whether either trace output was requested.
 func (f *Flags) WantTrace() bool { return f.Trace != "" || f.TraceSummary }
 

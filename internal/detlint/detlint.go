@@ -123,7 +123,7 @@ type Config struct {
 // DefaultConfig scopes the passes to this repository's layering.
 func DefaultConfig() Config {
 	return Config{
-		DeterministicPkgs: []string{"sim", "plan", "par", "fault", "chaos", "resilience", "experiments"},
+		DeterministicPkgs: []string{"sim", "plan", "par", "fault", "chaos", "resilience", "experiments", "driver"},
 		NilInert:          []string{"trace.Recorder", "par.Pool", "metrics.Registry"},
 		OrderedSinks: []string{
 			"report.Table", "trace.Recorder",

@@ -12,6 +12,7 @@ import (
 
 	"activego/internal/analysis"
 	"activego/internal/detlint"
+	"activego/internal/driver"
 	"activego/internal/metrics"
 	"activego/internal/trace"
 )
@@ -256,6 +257,40 @@ func TestLintCodesDocumentedInDesignDoc(t *testing.T) {
 	for _, c := range codes {
 		if !strings.Contains(sect, "| "+c+" |") {
 			t.Errorf("diagnostic code %s has no row in DESIGN.md §8's rule table", c)
+		}
+	}
+}
+
+// driverName matches a backticked serving-driver metric or counter
+// name inside DESIGN.md §14 prose: `driver.<dotted.path>`.
+var driverName = regexp.MustCompile("`(driver\\.[a-z0-9_.]+)`")
+
+// TestServingSectionMatchesDriverCatalogues pins DESIGN.md §14's prose
+// to the driver's slice of the §9/§10 catalogues, both directions:
+// every driver metric and counter the code registers is named in §14,
+// and every `driver.*` name §14 mentions exists in code — the table
+// enforcement of §9/§10 extended to the serving layer's own section.
+func TestServingSectionMatchesDriverCatalogues(t *testing.T) {
+	sect := designSection(t, "14")
+	known := map[string]bool{}
+	for _, m := range driver.CataloguedMetrics() {
+		known[m.Name] = true
+		if !strings.Contains(sect, "`"+m.Name+"`") {
+			t.Errorf("driver metric %q is catalogued but not named in DESIGN.md §14", m.Name)
+		}
+	}
+	for _, c := range driver.CataloguedCounters() {
+		known[c.Name] = true
+		if !strings.Contains(sect, "`"+c.Name+"`") {
+			t.Errorf("driver counter %q is catalogued but not named in DESIGN.md §14", c.Name)
+		}
+	}
+	if len(known) == 0 {
+		t.Fatal("driver catalogues are empty; wiring broken?")
+	}
+	for _, m := range driverName.FindAllStringSubmatch(sect, -1) {
+		if !known[m[1]] {
+			t.Errorf("DESIGN.md §14 names %q, which is in neither driver catalogue", m[1])
 		}
 	}
 }

@@ -1,0 +1,190 @@
+package driver
+
+import (
+	"fmt"
+	"math"
+
+	"activego/internal/fault"
+)
+
+// Process names an arrival discipline for a tenant's request stream.
+type Process string
+
+// Arrival disciplines. The open-loop processes (poisson, bursty,
+// uniform) generate arrival times up front from the tenant's seeded
+// stream, so offered load never depends on service times — slow service
+// builds queues instead of silently thinning traffic. The closed loop
+// instead runs a fixed worker pool where each worker thinks, issues,
+// and waits, so offered load self-limits the way a fixed user
+// population does.
+const (
+	// Poisson is memoryless open-loop traffic at rate QPS: exponential
+	// interarrivals −ln(1−U)/λ.
+	Poisson Process = "poisson"
+	// Bursty is an on/off-modulated Poisson process: within each Period
+	// the first DutyCycle fraction runs at QPS·BurstFactor and the rest
+	// at a compensating low rate, so the long-run average stays QPS.
+	Bursty Process = "bursty"
+	// Uniform is a deterministic open-loop ticker at exactly 1/QPS
+	// spacing — the no-variance control for the Poisson comparisons.
+	Uniform Process = "uniform"
+	// Closed is a closed loop: Workers concurrent users, each issuing a
+	// request, waiting for its completion, thinking for Think seconds,
+	// and issuing again until the horizon.
+	Closed Process = "closed"
+)
+
+// Arrival configures one tenant's traffic.
+type Arrival struct {
+	Process Process
+	// QPS is the long-run offered rate for the open-loop processes, in
+	// requests per simulated second.
+	QPS float64
+	// BurstFactor multiplies QPS inside a burst window (Bursty only);
+	// values <= 1 degenerate to plain Poisson.
+	BurstFactor float64
+	// DutyCycle is the burst window's fraction of each Period, in (0,1)
+	// (Bursty only). 0 defaults to 0.25.
+	DutyCycle float64
+	// Period is the on/off modulation period in simulated seconds
+	// (Bursty only). 0 defaults to 1.
+	Period float64
+	// Workers is the closed-loop user population (Closed only); values
+	// < 1 mean 1.
+	Workers int
+	// Think is the closed-loop think time between a completion and the
+	// worker's next request, in simulated seconds (Closed only).
+	Think float64
+}
+
+// Validate rejects arrival configurations the generator cannot honor.
+func (a Arrival) Validate() error {
+	switch a.Process {
+	case Poisson, Bursty, Uniform:
+		if a.QPS <= 0 || math.IsNaN(a.QPS) || math.IsInf(a.QPS, 0) {
+			return fmt.Errorf("driver: %s arrival needs QPS > 0, got %v", a.Process, a.QPS)
+		}
+		if a.Process == Bursty {
+			if a.BurstFactor < 0 || math.IsNaN(a.BurstFactor) || math.IsInf(a.BurstFactor, 0) {
+				return fmt.Errorf("driver: bursty BurstFactor %v out of range", a.BurstFactor)
+			}
+			if a.DutyCycle < 0 || a.DutyCycle >= 1 || math.IsNaN(a.DutyCycle) {
+				return fmt.Errorf("driver: bursty DutyCycle %v outside [0,1)", a.DutyCycle)
+			}
+			if a.Period < 0 || math.IsNaN(a.Period) || math.IsInf(a.Period, 0) {
+				return fmt.Errorf("driver: bursty Period %v out of range", a.Period)
+			}
+		}
+	case Closed:
+		if a.Think < 0 || math.IsNaN(a.Think) || math.IsInf(a.Think, 0) {
+			return fmt.Errorf("driver: closed Think %v out of range", a.Think)
+		}
+	default:
+		return fmt.Errorf("driver: unknown arrival process %q", a.Process)
+	}
+	return nil
+}
+
+func (a Arrival) dutyCycle() float64 {
+	if a.DutyCycle == 0 {
+		return 0.25
+	}
+	return a.DutyCycle
+}
+
+func (a Arrival) period() float64 {
+	if a.Period == 0 {
+		return 1
+	}
+	return a.Period
+}
+
+func (a Arrival) workers() int {
+	if a.Workers < 1 {
+		return 1
+	}
+	return a.Workers
+}
+
+// stream is a splitmix64 sequence: the same construction as the chaos
+// and fault packages, so each tenant owns an independent deterministic
+// stream keyed off the driver seed and never shares state with another.
+type stream struct{ state uint64 }
+
+func (s *stream) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	return fault.Mix64(s.state)
+}
+
+// uniform returns the next draw in [0,1).
+func (s *stream) uniform() float64 { return float64(s.next()>>11) / (1 << 53) }
+
+// times generates the open-loop arrival offsets in [0, horizon) for a,
+// consuming draws from rng. Closed-loop arrivals are event-driven and
+// return nil here.
+func (a Arrival) times(rng *stream, horizon float64) []float64 {
+	switch a.Process {
+	case Uniform:
+		var out []float64
+		for t := 0.0; t < horizon; t += 1 / a.QPS {
+			out = append(out, t)
+		}
+		return out
+	case Poisson:
+		var out []float64
+		t := 0.0
+		for {
+			t += expDraw(rng, a.QPS)
+			if t >= horizon {
+				return out
+			}
+			out = append(out, t)
+		}
+	case Bursty:
+		factor := a.BurstFactor
+		if factor <= 1 {
+			// No amplification requested: plain Poisson at QPS.
+			b := a
+			b.Process = Poisson
+			return b.times(rng, horizon)
+		}
+		duty := a.dutyCycle()
+		period := a.period()
+		high := a.QPS * factor
+		// The off-window rate compensates so the long-run average is
+		// exactly QPS; a burst too tall to compensate clamps at zero
+		// (pure on/off traffic).
+		low := a.QPS * (1 - duty*factor) / (1 - duty)
+		if low < 0 {
+			low = 0
+		}
+		// Thinning against the peak rate: candidate arrivals at rate
+		// high, each kept with probability rate(t)/high. One uniform
+		// draw per candidate keeps the draw count — and therefore the
+		// stream — independent of accept/reject outcomes.
+		var out []float64
+		t := 0.0
+		for {
+			t += expDraw(rng, high)
+			if t >= horizon {
+				return out
+			}
+			phase := math.Mod(t, period) / period
+			rate := low
+			if phase < duty {
+				rate = high
+			}
+			if rng.uniform()*high < rate {
+				out = append(out, t)
+			}
+		}
+	default:
+		return nil
+	}
+}
+
+// expDraw returns one exponential interarrival at rate λ.
+func expDraw(rng *stream, lambda float64) float64 {
+	u := rng.uniform()
+	return -math.Log1p(-u) / lambda
+}

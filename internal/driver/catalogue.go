@@ -1,0 +1,37 @@
+package driver
+
+import (
+	"strings"
+
+	"activego/internal/metrics"
+	"activego/internal/trace"
+)
+
+// CataloguedMetrics returns the driver's slice of the global metric
+// catalogue — every "driver."-named metric the serving layer records
+// into its per-tenant sub-registries. DESIGN.md §14's metric list is
+// checked against this view in both directions, the same way §10 is
+// checked against the full catalogue.
+func CataloguedMetrics() []metrics.MetricInfo {
+	var out []metrics.MetricInfo
+	for _, m := range metrics.Catalogue() {
+		if strings.HasPrefix(m.Name, "driver.") {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// CataloguedCounters returns the driver's slice of the global trace
+// counter catalogue — the series the engine samples on the platform's
+// recorder at admission and completion. DESIGN.md §14's counter list is
+// checked against this view in both directions.
+func CataloguedCounters() []trace.CounterInfo {
+	var out []trace.CounterInfo
+	for _, c := range trace.Catalogue() {
+		if c.Component == "driver" {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,358 @@
+package driver_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"activego/internal/chaos"
+	"activego/internal/driver"
+	"activego/internal/fault"
+	"activego/internal/metrics"
+	"activego/internal/nvme"
+	"activego/internal/platform"
+	"activego/internal/resilience"
+	"activego/internal/workloads"
+)
+
+// testMix is a two-scenario weighted mix over cheap synthetic programs.
+func testMix(t *testing.T) *driver.Mix {
+	t.Helper()
+	m, err := driver.NewMix(
+		driver.MixEntry{Scenario: driver.Synthetic("small", 4, 5e5, 1<<18), Weight: 3},
+		driver.MixEntry{Scenario: driver.Synthetic("large", 8, 2e6, 1<<20), Weight: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestJain(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 1},
+		{[]float64{0, 0}, 1},
+		{[]float64{1, 1, 1}, 1},
+		{[]float64{1, 0}, 0.5},
+		{[]float64{1, 0, 0, 0}, 0.25},
+	}
+	for _, c := range cases {
+		if got := driver.Jain(c.xs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Jain(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestMixPick(t *testing.T) {
+	a := driver.Synthetic("a", 2, 1e5, 1<<10)
+	b := driver.Synthetic("b", 2, 1e5, 1<<10)
+	m, err := driver.NewMix(
+		driver.MixEntry{Scenario: a, Weight: 1},
+		driver.MixEntry{Scenario: b, Weight: 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Pick(0); got != a {
+		t.Fatalf("Pick(0) = %s, want a", got.Name)
+	}
+	if got := m.Pick(0.249); got != a {
+		t.Fatalf("Pick(0.249) = %s, want a", got.Name)
+	}
+	if got := m.Pick(0.25); got != b {
+		t.Fatalf("Pick(0.25) = %s, want b", got.Name)
+	}
+	if got := m.Pick(0.999); got != b {
+		t.Fatalf("Pick(0.999) = %s, want b", got.Name)
+	}
+	if _, err := driver.NewMix(); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+	if _, err := driver.NewMix(driver.MixEntry{Scenario: a, Weight: -1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestRegistryHasAllWorkloads(t *testing.T) {
+	names := driver.Names()
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, spec := range workloads.All() {
+		if !have[spec.Name] {
+			t.Errorf("workload %s not registered as a scenario (have %v)", spec.Name, names)
+		}
+	}
+	if _, err := driver.Build("no-such-scenario", workloads.TestParams()); err == nil {
+		t.Fatal("unknown scenario built")
+	}
+}
+
+func TestBuildWorkloadScenario(t *testing.T) {
+	sc, err := driver.Build(workloads.All()[0].Name, workloads.TestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Trace == nil || len(sc.Trace.Records) == 0 {
+		t.Fatal("scenario has no trace")
+	}
+	if sc.OverheadScale != workloads.TestParams().OverheadScale() {
+		t.Fatalf("OverheadScale %v, want %v", sc.OverheadScale, workloads.TestParams().OverheadScale())
+	}
+}
+
+func TestServingAccountingBalances(t *testing.T) {
+	for _, proc := range []driver.Process{driver.Poisson, driver.Bursty, driver.Uniform, driver.Closed} {
+		t.Run(string(proc), func(t *testing.T) {
+			p := platform.Default()
+			reg := metrics.New()
+			arr := driver.Arrival{Process: proc, QPS: 40, BurstFactor: 4, Workers: 3, Think: 0.01}
+			res, err := driver.Run(p, driver.Config{
+				Seed:     42,
+				Duration: 0.5,
+				Tenants: []driver.TenantConfig{
+					{Name: "alpha", Mix: testMix(t), Arrival: arr},
+					{Name: "beta", Mix: testMix(t), Arrival: arr},
+				},
+				Metrics: reg,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Offered == 0 {
+				t.Fatal("no requests offered")
+			}
+			if got := res.Completed + res.Failed + res.Shed; got != res.Offered {
+				t.Fatalf("accounting leak: completed %d + failed %d + shed %d != offered %d",
+					res.Completed, res.Failed, res.Shed, res.Offered)
+			}
+			for _, tr := range res.Tenants {
+				if tr.Completed+tr.Failed+tr.Shed != tr.Offered {
+					t.Fatalf("tenant %s leaks: %+v", tr.Name, tr)
+				}
+				if tr.Completed > 0 && (tr.P50 <= 0 || tr.P99 < tr.P50 || tr.Max < tr.P99) {
+					t.Fatalf("tenant %s quantiles not ordered: %+v", tr.Name, tr)
+				}
+			}
+			if res.Fairness <= 0 || res.Fairness > 1 {
+				t.Fatalf("fairness %v outside (0,1]", res.Fairness)
+			}
+			if err := p.Drained(); err != nil {
+				t.Fatal(err)
+			}
+			// The merged registry carries both tenants' counters.
+			if got := reg.Counter(metrics.MetricDriverOffered).Value(); got != float64(res.Offered) {
+				t.Fatalf("merged offered counter %v, want %d", got, res.Offered)
+			}
+		})
+	}
+}
+
+func TestServingDeterminism(t *testing.T) {
+	run := func() (*driver.Result, string) {
+		p := platform.Default()
+		res, err := driver.Run(p, driver.Config{
+			Seed:     7,
+			Duration: 0.4,
+			Tenants: []driver.TenantConfig{
+				{Name: "a", Mix: testMix(t), Arrival: driver.Arrival{Process: driver.Poisson, QPS: 60}},
+				{Name: "b", Mix: testMix(t), Arrival: driver.Arrival{Process: driver.Bursty, QPS: 60, BurstFactor: 5}},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, p.Fingerprint()
+	}
+	r1, fp1 := run()
+	r2, fp2 := run()
+	if fp1 != fp2 {
+		t.Fatalf("platform fingerprints diverge:\n%s\n%s", fp1, fp2)
+	}
+	if r1.Makespan != r2.Makespan || r1.Offered != r2.Offered || r1.Completed != r2.Completed ||
+		r1.Failed != r2.Failed || r1.Shed != r2.Shed || r1.Fairness != r2.Fairness {
+		t.Fatalf("results diverge:\n%+v\n%+v", r1, r2)
+	}
+	if len(r1.Tenants) != len(r2.Tenants) {
+		t.Fatalf("tenant counts diverge: %d vs %d", len(r1.Tenants), len(r2.Tenants))
+	}
+	for i := range r1.Tenants {
+		a, b := r1.Tenants[i], r2.Tenants[i]
+		a.FirstShed, b.FirstShed = nil, nil
+		if a != b {
+			t.Fatalf("tenant %d diverges:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+// TestZeroTrafficIdentity is the zero-traffic contract: a serving run
+// with no tenants schedules nothing and leaves the platform
+// byte-identical to a machine that never served at all.
+func TestZeroTrafficIdentity(t *testing.T) {
+	idle := platform.Default()
+	served := platform.Default()
+	res, err := driver.Run(served, driver.Config{Seed: 42, Duration: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered != 0 || res.Makespan != 0 {
+		t.Fatalf("zero-traffic run did work: %+v", res)
+	}
+	if res.Fairness != 1 {
+		t.Fatalf("zero-traffic fairness %v, want 1", res.Fairness)
+	}
+	if got, want := served.Fingerprint(), idle.Fingerprint(); got != want {
+		t.Fatalf("zero-traffic run perturbed the platform:\n%s\n%s", got, want)
+	}
+}
+
+// TestAdmissionShedsTyped pins the admission-control contract: a
+// saturating burst against a single service slot with no wait queue
+// sheds with typed *resilience.AdmitError, accounts every refusal, and
+// keeps serving.
+func TestAdmissionShedsTyped(t *testing.T) {
+	p := platform.Default()
+	slow, err := driver.NewMix(driver.MixEntry{
+		Scenario: driver.Synthetic("slow", 6, 5e9, 1<<22), Weight: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := driver.Run(p, driver.Config{
+		Seed:     42,
+		Duration: 0.01,
+		Tenants: []driver.TenantConfig{{
+			Name:    "storm",
+			Mix:     slow,
+			Arrival: driver.Arrival{Process: driver.Uniform, QPS: 1000},
+		}},
+		MaxInFlight: 1,
+		MaxQueue:    -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Tenants[0]
+	if tr.Shed == 0 {
+		t.Fatalf("saturating burst shed nothing: %+v", tr)
+	}
+	if tr.FirstShed == nil {
+		t.Fatal("no typed AdmitError recorded")
+	}
+	var admit *resilience.AdmitError
+	if !errors.As(error(tr.FirstShed), &admit) {
+		t.Fatalf("FirstShed is %T, want *resilience.AdmitError", tr.FirstShed)
+	}
+	if admit.Tenant != "storm" || admit.InFlight != 1 || admit.Queued != 0 {
+		t.Fatalf("AdmitError fields wrong: %+v", admit)
+	}
+	if admit.Error() == "" {
+		t.Fatal("empty AdmitError message")
+	}
+	if tr.Completed == 0 {
+		t.Fatal("shedding tenant never completed anything")
+	}
+}
+
+// TestServingUnderChaos is the driver's chaos leg: generated fault
+// schedules against a serving run must end with every request either
+// completed or refused/failed typed-clean — never an untyped error,
+// never stranded live state.
+func TestServingUnderChaos(t *testing.T) {
+	const seed = 42
+	for i := 0; i < 4; i++ {
+		rules := chaos.Schedule(seed, i, chaos.ScheduleParams{MaxRate: 0.08, Horizon: 0.3})
+		plan, err := fault.NewPlanChecked(fault.Mix64(seed^uint64(i)), rules...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := platform.Default()
+		p.InstallFaults(plan, nvme.RetryPolicy{Timeout: 0.5, MaxAttempts: 3, Backoff: 1e-3})
+		pol := resilience.Default(seed + uint64(i))
+		res, err := driver.Run(p, driver.Config{
+			Seed:     seed,
+			Duration: 0.2,
+			Tenants: []driver.TenantConfig{
+				{Name: "chaotic", Mix: testMix(t), Arrival: driver.Arrival{Process: driver.Poisson, QPS: 50}},
+			},
+			Resilience: &pol,
+		})
+		if err != nil {
+			t.Fatalf("schedule %d: untyped failure: %v", i, err)
+		}
+		if got := res.Completed + res.Failed + res.Shed; got != res.Offered {
+			t.Fatalf("schedule %d leaks requests: %+v", i, res)
+		}
+		if err := p.Drained(); err != nil {
+			t.Fatalf("schedule %d: %v", i, err)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	p := platform.Default()
+	if _, err := driver.Run(nil, driver.Config{}); err == nil {
+		t.Fatal("nil platform accepted")
+	}
+	bad := []driver.Config{
+		{Duration: -1},
+		{Duration: math.NaN()},
+		{Duration: 1, Tenants: []driver.TenantConfig{{Name: "x"}}},                     // nil mix
+		{Tenants: []driver.TenantConfig{{Name: "x", Mix: testMix(t)}}},                 // zero horizon
+		{Duration: 1, Tenants: []driver.TenantConfig{{Mix: testMix(t), Arrival: driver.Arrival{Process: "weird", QPS: 1}}}},
+		{Duration: 1, Tenants: []driver.TenantConfig{{Mix: testMix(t), Arrival: driver.Arrival{Process: driver.Poisson}}}}, // no QPS
+	}
+	for i, cfg := range bad {
+		if _, err := driver.Run(p, cfg); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestArrivalProcesses(t *testing.T) {
+	horizon := 50.0
+	gen := func(a driver.Arrival, seed uint64) []float64 {
+		return driver.ArrivalTimesForTest(a, seed, horizon)
+	}
+	t.Run("poisson-rate", func(t *testing.T) {
+		ts := gen(driver.Arrival{Process: driver.Poisson, QPS: 20}, 1)
+		rate := float64(len(ts)) / horizon
+		if rate < 16 || rate > 24 {
+			t.Fatalf("poisson rate %v far from 20", rate)
+		}
+		for i := 1; i < len(ts); i++ {
+			if ts[i] <= ts[i-1] {
+				t.Fatal("arrivals not strictly increasing")
+			}
+		}
+	})
+	t.Run("bursty-average", func(t *testing.T) {
+		ts := gen(driver.Arrival{Process: driver.Bursty, QPS: 20, BurstFactor: 4}, 2)
+		rate := float64(len(ts)) / horizon
+		if rate < 14 || rate > 26 {
+			t.Fatalf("bursty long-run rate %v far from 20", rate)
+		}
+	})
+	t.Run("uniform-spacing", func(t *testing.T) {
+		ts := gen(driver.Arrival{Process: driver.Uniform, QPS: 10}, 3)
+		if len(ts) != 500 {
+			t.Fatalf("uniform generated %d arrivals, want 500", len(ts))
+		}
+	})
+	t.Run("deterministic", func(t *testing.T) {
+		a := driver.Arrival{Process: driver.Bursty, QPS: 30, BurstFactor: 6, DutyCycle: 0.2, Period: 2}
+		x, y := gen(a, 9), gen(a, 9)
+		if len(x) != len(y) {
+			t.Fatal("same seed, different counts")
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatal("same seed, different times")
+			}
+		}
+	})
+}

@@ -1,0 +1,230 @@
+package driver
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"activego/internal/codegen"
+	"activego/internal/core"
+	"activego/internal/lang/interp"
+	"activego/internal/lang/value"
+	"activego/internal/plan"
+	"activego/internal/platform"
+	"activego/internal/profile"
+	"activego/internal/workloads"
+)
+
+// Scenario is one servable unit of work: a fully prepared program — the
+// full-scale value trace, the planner's partition, and its per-line
+// estimates — ready to replay against a platform as one request. The
+// expensive pipeline (sampling, curve fits, planning, tracing) ran once
+// at construction; requests replay warm (exec.Options.Warm), paying
+// storage, compute, and link time but not the cold setup the scenario
+// already paid.
+type Scenario struct {
+	Name      string
+	Trace     *interp.Trace
+	Partition codegen.Partition
+	Estimates map[int]*plan.LineEstimate
+	Backend   codegen.Backend
+	// OverheadScale forwards the workload's scale factor into exec so
+	// migration regeneration costs stay proportioned to the scaled runs.
+	OverheadScale float64
+}
+
+// Constructor builds a Scenario at the given workload scale. The yabf
+// lineage: a registry of named workload constructors, so a traffic mix
+// is assembled from names and weights without the caller knowing how any
+// scenario is prepared.
+type Constructor func(params workloads.Params) (*Scenario, error)
+
+// registry maps scenario names to constructors. Mutated only by
+// Register (init functions and test setup); reads go through Lookup and
+// Names, which iterate a sorted key list so no output ever depends on
+// map order.
+var registry = map[string]Constructor{}
+
+// Register installs a scenario constructor under name, replacing any
+// previous registration (latest wins, so tests can shadow a built-in).
+func Register(name string, ctor Constructor) {
+	if name == "" || ctor == nil {
+		panic("driver: Register needs a name and a constructor")
+	}
+	registry[name] = ctor
+}
+
+// Lookup returns the constructor registered under name.
+func Lookup(name string) (Constructor, bool) {
+	ctor, ok := registry[name]
+	return ctor, ok
+}
+
+// Names lists the registered scenario names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Build constructs the named scenario at the given scale.
+func Build(name string, params workloads.Params) (*Scenario, error) {
+	ctor, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("driver: no scenario %q registered (have %v)", name, Names())
+	}
+	return ctor(params)
+}
+
+// init registers every embedded workload as a scenario: the constructor
+// runs the real ActivePy pipeline (sampling on a scratch platform,
+// planning, full-scale trace, correctness check) and captures the
+// artifacts a request replays.
+func init() {
+	for _, spec := range workloads.All() {
+		Register(spec.Name, workloadConstructor(spec))
+	}
+}
+
+func workloadConstructor(spec workloads.Spec) Constructor {
+	return func(params workloads.Params) (*Scenario, error) {
+		inst := spec.Build(params)
+		rt := core.New(platform.Default())
+		rt.SampleScales = profile.ScaledScales
+		rt.PreloadInputs(inst.Registry)
+		prog, _, planRes, err := rt.Analyze(inst.Source, inst.Registry)
+		if err != nil {
+			return nil, fmt.Errorf("driver: %s: analyze: %w", spec.Name, err)
+		}
+		tr, env, err := interp.Run(prog, inst.Registry.Context(1))
+		if err != nil {
+			return nil, fmt.Errorf("driver: %s: trace: %w", spec.Name, err)
+		}
+		if err := inst.Check(env); err != nil {
+			return nil, fmt.Errorf("driver: %s: correctness: %w", spec.Name, err)
+		}
+		return &Scenario{
+			Name:          spec.Name,
+			Trace:         tr,
+			Partition:     planRes.Partition,
+			Estimates:     planRes.ByLine(),
+			Backend:       codegen.Native,
+			OverheadScale: params.OverheadScale(),
+		}, nil
+	}
+}
+
+// Synthetic fabricates a scenario without the language pipeline: lines
+// alternating CSD kernel work (odd lines, offloaded) and host glue (even
+// lines), each moving bytes through storage and the link. Unit tests,
+// examples, and csdsim's device-level serving mode use it — cheap to
+// build, deterministic to replay, and exercising the same queue-pair and
+// resource paths as a compiled workload.
+func Synthetic(name string, lines int, work float64, bytes int64) *Scenario {
+	if lines < 1 {
+		lines = 1
+	}
+	tr := &interp.Trace{}
+	var csdLines []int
+	for i := 0; i < lines; i++ {
+		line := i + 1
+		rec := interp.LineRecord{
+			Line: line,
+			Cost: value.Cost{KernelWork: work, GlueWork: work / 16, StorageBytes: bytes},
+			Writes: []interp.VarUse{
+				{Name: fmt.Sprintf("v%d", line), Bytes: bytes / 4},
+			},
+		}
+		if line > 1 {
+			rec.Reads = []interp.VarUse{{Name: fmt.Sprintf("v%d", line-1), Bytes: bytes / 4}}
+		}
+		tr.Records = append(tr.Records, rec)
+		if line%2 == 1 {
+			csdLines = append(csdLines, line)
+		}
+	}
+	return &Scenario{
+		Name:      name,
+		Trace:     tr,
+		Partition: codegen.NewPartition(csdLines...),
+		Backend:   codegen.Native,
+	}
+}
+
+// Weighted names a registered scenario and its share of a traffic mix.
+type Weighted struct {
+	Name   string
+	Weight float64
+}
+
+// MixEntry pairs a built scenario with its weight inside a Mix.
+type MixEntry struct {
+	Scenario *Scenario
+	Weight   float64
+}
+
+// Mix is a weighted scenario chooser — the yabf/pebble-bench pattern: a
+// request stream picks its next operation by weighted random draw over
+// the registered choices. Pick is pure (uniform in, scenario out), so
+// the choice sequence is owned entirely by the caller's seeded stream.
+type Mix struct {
+	entries []MixEntry
+	total   float64
+}
+
+// NewMix builds a mix from already-constructed scenarios.
+func NewMix(entries ...MixEntry) (*Mix, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("driver: empty mix")
+	}
+	m := &Mix{entries: entries}
+	for _, e := range entries {
+		if e.Scenario == nil {
+			return nil, fmt.Errorf("driver: mix entry with nil scenario")
+		}
+		if e.Weight <= 0 || math.IsNaN(e.Weight) || math.IsInf(e.Weight, 0) {
+			return nil, fmt.Errorf("driver: mix weight %v for %q out of range", e.Weight, e.Scenario.Name)
+		}
+		m.total += e.Weight
+	}
+	return m, nil
+}
+
+// BuildMix constructs every named scenario through the registry and
+// assembles the weighted mix.
+func BuildMix(params workloads.Params, weighted []Weighted) (*Mix, error) {
+	entries := make([]MixEntry, 0, len(weighted))
+	for _, w := range weighted {
+		s, err := Build(w.Name, params)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, MixEntry{Scenario: s, Weight: w.Weight})
+	}
+	return NewMix(entries...)
+}
+
+// Pick maps a uniform draw u in [0,1) to a scenario by cumulative
+// weight. Out-of-range draws clamp to the ends.
+func (m *Mix) Pick(u float64) *Scenario {
+	target := u * m.total
+	for _, e := range m.entries {
+		if target < e.Weight {
+			return e.Scenario
+		}
+		target -= e.Weight
+	}
+	return m.entries[len(m.entries)-1].Scenario
+}
+
+// Scenarios lists the mix's scenarios in entry order.
+func (m *Mix) Scenarios() []*Scenario {
+	out := make([]*Scenario, len(m.entries))
+	for i, e := range m.entries {
+		out[i] = e.Scenario
+	}
+	return out
+}

@@ -120,6 +120,12 @@ type Options struct {
 	// UseCallQueue routes CSD lines through the NVMe call queue; off, CSD
 	// lines are invoked directly (used to ablate queue overhead).
 	UseCallQueue bool
+	// Warm skips the one-time overheads (sampling latency, backend
+	// compile) entirely: the program was prepared earlier and this run
+	// reuses its artifacts. The serving driver sets it — a request against
+	// a long-lived platform must not re-pay the cold pipeline cost the
+	// scenario already paid at registration.
+	Warm bool
 	// Recovery configures failure-driven degradation; the zero value
 	// turns any line failure into a run error.
 	Recovery RecoveryPolicy
@@ -225,13 +231,52 @@ type executor struct {
 	nvmeTimeouts0 uint64
 	nvmeRetries0  uint64
 	done          bool
+	notify        func(*Result, error) // invoked exactly once; nil after it fires
 }
 
-// Run replays trace on p under opts and returns when the simulated
-// program completes. The platform's simulator is advanced in place, so
-// sequential runs on one platform accumulate simulated time; Result
-// reports the run's own duration.
-func Run(p *platform.Platform, trace *interp.Trace, opts Options) (*Result, error) {
+// Handle is an in-flight execution started by Launch. Its accessors are
+// only meaningful once the caller has driven the platform's calendar
+// (p.Sim.Run or equivalent) past the program's completion.
+type Handle struct {
+	e *executor
+}
+
+// Done reports whether the execution completed successfully.
+func (h *Handle) Done() bool { return h.e.done }
+
+// Result returns the execution's outcome. A nil error with a nil result
+// means the calendar drained while the program was still in flight — a
+// stuck run — and the returned error describes where it stranded.
+func (h *Handle) Result() (*Result, error) {
+	e := h.e
+	if e.err != nil {
+		return nil, e.err
+	}
+	if !e.done {
+		if e.idx < len(e.trace.Records) {
+			return nil, fmt.Errorf(
+				"exec: simulation drained before the program finished: stuck at record %d/%d (source line %d); "+
+					"a lost command with no completion timer strands the run — arm an nvme.RetryPolicy or Options.Recovery",
+				e.idx, len(e.trace.Records), e.trace.Records[e.idx].Line)
+		}
+		return nil, fmt.Errorf("exec: simulation drained before the program finished (deadlock in the event chain)")
+	}
+	return e.res, nil
+}
+
+// Launch schedules the replay of trace on p's calendar without driving
+// it. The first step lands after the run's one-time overheads; the
+// caller owns the calendar and decides when (and with what else
+// interleaved) it runs — this is how a workload driver keeps many
+// requests in flight on one platform, contending for the same host
+// cores, CSEs, flash channels, and link. done, when non-nil, fires
+// exactly once from inside the event loop: with the Result on success,
+// or with the terminal error (typed *resilience.ShedError included) on
+// failure. A run the calendar strands (drained while incomplete) never
+// fires done; the caller detects it through Handle.Result after the
+// calendar drains. Validation errors surface immediately and schedule
+// nothing.
+func Launch(p *platform.Platform, trace *interp.Trace, opts Options, done func(*Result, error)) (*Handle, error) {
 	if opts.Migration.Enabled && opts.Estimates == nil {
 		return nil, fmt.Errorf("exec: migration enabled without line estimates")
 	}
@@ -248,6 +293,7 @@ func Run(p *platform.Platform, trace *interp.Trace, opts Options) (*Result, erro
 		opts:    opts,
 		varHome: make(map[string]varState),
 		res:     &Result{Start: p.Sim.Now()},
+		notify:  done,
 	}
 	if pol := opts.Resilience; pol != nil {
 		if err := pol.Validate(); err != nil {
@@ -266,21 +312,24 @@ func Run(p *platform.Platform, trace *interp.Trace, opts Options) (*Result, erro
 	e.lastObserved = effectiveRate(p)
 
 	overhead := (opts.SamplingOverhead + opts.Backend.CompileOverhead) * opts.overheadScale()
+	if opts.Warm {
+		overhead = 0
+	}
 	p.Sim.After(overhead, e.step)
+	return &Handle{e: e}, nil
+}
+
+// Run replays trace on p under opts and returns when the simulated
+// program completes. The platform's simulator is advanced in place, so
+// sequential runs on one platform accumulate simulated time; Result
+// reports the run's own duration.
+func Run(p *platform.Platform, trace *interp.Trace, opts Options) (*Result, error) {
+	h, err := Launch(p, trace, opts, nil)
+	if err != nil {
+		return nil, err
+	}
 	p.Sim.Run()
-	if e.err != nil {
-		return nil, e.err
-	}
-	if !e.done {
-		if e.idx < len(trace.Records) {
-			return nil, fmt.Errorf(
-				"exec: simulation drained before the program finished: stuck at record %d/%d (source line %d); "+
-					"a lost command with no completion timer strands the run — arm an nvme.RetryPolicy or Options.Recovery",
-				e.idx, len(trace.Records), trace.Records[e.idx].Line)
-		}
-		return nil, fmt.Errorf("exec: simulation drained before the program finished (deadlock in the event chain)")
-	}
-	return e.res, nil
+	return h.Result()
 }
 
 func effectiveRate(p *platform.Platform) float64 {
@@ -305,6 +354,21 @@ func (e *executor) finish() {
 	e.res.Timeouts = timeouts - e.nvmeTimeouts0
 	e.res.Retries = (retries - e.nvmeRetries0) + e.lineRetries
 	e.foldMetrics()
+	if fn := e.notify; fn != nil {
+		e.notify = nil
+		fn(e.res, nil)
+	}
+}
+
+// abort terminates the execution with err: no further events are
+// scheduled for this run, and the completion callback (if any) fires
+// with the error.
+func (e *executor) abort(err error) {
+	e.err = err
+	if fn := e.notify; fn != nil {
+		e.notify = nil
+		fn(nil, err)
+	}
 }
 
 // foldMetrics folds the completed run's Result into the registry. Pure
@@ -450,7 +514,7 @@ func (e *executor) failLine(rec *interp.LineRecord, unit Unit, cause error) {
 	}
 	rp := e.opts.Recovery
 	if !rp.Enabled {
-		e.err = cause
+		e.abort(cause)
 		return
 	}
 	if e.lineAttempts < rp.LineRetries {
@@ -464,7 +528,7 @@ func (e *executor) failLine(rec *interp.LineRecord, unit Unit, cause error) {
 	}
 	if unit == UnitHost {
 		// Already on the unit of last resort.
-		e.err = cause
+		e.abort(cause)
 		return
 	}
 	// Retries exhausted on the CSD: fail over to host re-execution of
@@ -525,7 +589,7 @@ func (e *executor) failLineResilient(rec *interp.LineRecord, unit Unit, cause er
 	if m := e.opts.Metrics; m != nil {
 		m.Counter(metrics.MetricExecSheds).Add(1)
 	}
-	e.err = shed
+	e.abort(shed)
 }
 
 // afterRecord finalizes variable placement, runs the monitor, and

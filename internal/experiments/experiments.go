@@ -37,6 +37,7 @@ type options struct {
 	metrics *metrics.Registry
 	pool    *par.Pool
 	seed    uint64
+	serving ServingOverrides
 }
 
 // WithMetrics instruments the harness with the registry: pipeline phase

@@ -220,6 +220,47 @@ func (u *UtilizationResult) Bench(params workloads.Params) *bench.Manifest {
 	return m
 }
 
+// Bench converts the serving sweep: per (tenant, load) the tail
+// quantiles and completion counts are tracked — deterministic simulated
+// quantities, so a tail regression or a fairness collapse fails the
+// gate. Offered counts and the calibrated capacity ride as info.
+func (r *ServingResult) Bench(params workloads.Params) *bench.Manifest {
+	m := bench.NewManifest("serving", params.Seed, params.ScaleDiv)
+	byName := map[string]*bench.Workload{}
+	var order []string
+	for _, cell := range r.Cells {
+		at := fmt.Sprintf("@%.2f", cell.Load)
+		for _, tr := range cell.Res.Tenants {
+			w := byName[tr.Name]
+			if w == nil {
+				w = &bench.Workload{Name: tr.Name}
+				byName[tr.Name] = w
+				order = append(order, tr.Name)
+			}
+			w.Add("p50.seconds"+at, tr.P50, "s", bench.LowerIsBetter)
+			w.Add("p95.seconds"+at, tr.P95, "s", bench.LowerIsBetter)
+			w.Add("p99.seconds"+at, tr.P99, "s", bench.LowerIsBetter)
+			w.Add("completed"+at, float64(tr.Completed), "", bench.HigherIsBetter)
+			w.Add("offered"+at, float64(tr.Offered), "", "")
+			w.Add("shed"+at, float64(tr.Shed), "", "")
+		}
+	}
+	for _, name := range order {
+		m.Workloads = append(m.Workloads, *byName[name])
+	}
+	agg := bench.Workload{Name: "SUMMARY"}
+	agg.Add("capacity.qps", r.CapacityQPS, "req/s", "")
+	agg.Add("mean.service.seconds", r.MeanService, "s", "")
+	for _, cell := range r.Cells {
+		at := fmt.Sprintf("@%.2f", cell.Load)
+		agg.Add("fairness"+at, cell.Res.Fairness, "", bench.HigherIsBetter)
+		agg.Add("makespan.seconds"+at, cell.Res.Makespan, "s", "")
+		agg.Add("shed.total"+at, float64(cell.Res.Shed), "", "")
+	}
+	m.Workloads = append(m.Workloads, agg)
+	return m
+}
+
 func boolVal(b bool) float64 {
 	if b {
 		return 1

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"activego/internal/metrics"
+	"activego/internal/par"
+)
+
+// TestServingParallelInvariance extends the §11 determinism contract to
+// the serving study: results, the printed table, the manifest's JSON
+// bytes, and the metrics snapshot must be bit-identical between -j 1
+// and -j 8. Load points are independent fresh platforms assembled in
+// input order, so this holds by construction — and stays pinned here.
+func TestServingParallelInvariance(t *testing.T) {
+	serialReg := metrics.New()
+	serialRes, serialTbl, err := Serving(testParams(), WithMetrics(serialReg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parReg := metrics.New()
+	parRes, parTbl, err := Serving(testParams(), WithMetrics(parReg), WithPool(par.New(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serialRes.Cells, parRes.Cells) {
+		t.Errorf("serving cells differ under the pool:\nserial:   %+v\nparallel: %+v",
+			serialRes.Cells, parRes.Cells)
+	}
+	if serialRes.MeanService != parRes.MeanService || serialRes.CapacityQPS != parRes.CapacityQPS {
+		t.Errorf("serving calibration differs under the pool: %v/%v vs %v/%v",
+			serialRes.MeanService, serialRes.CapacityQPS, parRes.MeanService, parRes.CapacityQPS)
+	}
+	if s, p := serialTbl.String(), parTbl.String(); s != p {
+		t.Errorf("serving table differs under the pool:\nserial:\n%s\nparallel:\n%s", s, p)
+	}
+	serialMan, err := json.Marshal(serialRes.Bench(testParams()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parMan, err := json.Marshal(parRes.Bench(testParams()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialMan, parMan) {
+		t.Errorf("serving manifest JSON differs under the pool (%d vs %d bytes)",
+			len(serialMan), len(parMan))
+	}
+	if s, p := canonSnap(serialReg.Snapshot()), canonSnap(parReg.Snapshot()); !reflect.DeepEqual(s, p) {
+		t.Errorf("serving metrics snapshot differs under the pool:\nserial:   %+v\nparallel: %+v", s, p)
+	}
+	var serialJSON, parJSON bytes.Buffer
+	if err := serialRes.Rec.WriteChrome(&serialJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := parRes.Rec.WriteChrome(&parJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialJSON.Bytes(), parJSON.Bytes()) {
+		t.Errorf("serving trace JSON differs under the pool (%d vs %d bytes)",
+			serialJSON.Len(), parJSON.Len())
+	}
+}
+
+// TestServingStudyShape pins the study's documented structure: one cell
+// per load point, tenant rows matching the spec population, closed
+// accounting per cell, and fairness within (0, 1].
+func TestServingStudyShape(t *testing.T) {
+	res, tbl, err := Serving(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != len(ServingLoads) {
+		t.Fatalf("got %d cells, want %d", len(res.Cells), len(ServingLoads))
+	}
+	for _, cell := range res.Cells {
+		if got, want := len(cell.Res.Tenants), len(ServingTenants); got != want {
+			t.Errorf("load %.2f: %d tenant rows, want %d", cell.Load, got, want)
+		}
+		if cell.Res.Completed+cell.Res.Failed+cell.Res.Shed != cell.Res.Offered {
+			t.Errorf("load %.2f: accounting leak: %d+%d+%d != %d", cell.Load,
+				cell.Res.Completed, cell.Res.Failed, cell.Res.Shed, cell.Res.Offered)
+		}
+		if f := cell.Res.Fairness; !(f > 0 && f <= 1.0000001) {
+			t.Errorf("load %.2f: fairness %v out of (0,1]", cell.Load, f)
+		}
+	}
+	if res.CapacityQPS <= 0 || res.MeanService <= 0 {
+		t.Errorf("calibration not positive: capacity %v, mean service %v",
+			res.CapacityQPS, res.MeanService)
+	}
+	if tbl.String() == "" {
+		t.Error("empty serving table")
+	}
+}

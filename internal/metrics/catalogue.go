@@ -57,6 +57,34 @@ const (
 	// degradation ladder's final rung.
 	MetricExecSheds = "exec.sheds"
 
+	// Serving-driver counters, folded per tenant into the driver's
+	// sub-registries and merged into the caller's registry in tenant
+	// order (internal/driver, DESIGN.md §14).
+	//
+	// MetricDriverOffered counts requests the arrival processes
+	// generated (admitted or not).
+	MetricDriverOffered = "driver.requests.offered"
+	// MetricDriverAdmitted counts requests dispatched into service
+	// (immediately or after waiting in the admission queue).
+	MetricDriverAdmitted = "driver.requests.admitted"
+	// MetricDriverQueued counts requests that waited in the admission
+	// queue before dispatch.
+	MetricDriverQueued = "driver.requests.queued"
+	// MetricDriverShed counts requests refused at admission with a typed
+	// *resilience.AdmitError (in-flight budget and wait queue both full).
+	MetricDriverShed = "driver.requests.shed"
+	// MetricDriverCompleted counts requests that finished successfully.
+	MetricDriverCompleted = "driver.requests.completed"
+	// MetricDriverFailed counts requests that ended in a typed clean
+	// failure (*resilience.ShedError from the degradation ladder).
+	MetricDriverFailed = "driver.requests.failed"
+	// MetricDriverLatency is the arrival-to-completion latency
+	// distribution; MetricDriverWait is arrival-to-dispatch (admission
+	// queueing); MetricDriverService is dispatch-to-completion.
+	MetricDriverLatency = "driver.request.latency.seconds"
+	MetricDriverWait    = "driver.request.wait.seconds"
+	MetricDriverService = "driver.request.service.seconds"
+
 	// MetricPlanOptimalFallback counts pipeline runs where the exact
 	// Optimal planner had more than plan.MaxOptimalLines offloadable
 	// lines and silently degraded to the greedy Algorithm 1.
@@ -128,6 +156,15 @@ func Catalogue() []MetricInfo {
 		{MetricExecDegradedLines, KindCounter, "lines", "partition lines run on host, breaker open"},
 		{MetricExecDeadlineMisses, KindCounter, "calls", "offloaded calls past their line deadline"},
 		{MetricExecSheds, KindCounter, "runs", "runs ended by a typed shed error"},
+		{MetricDriverOffered, KindCounter, "requests", "driver: arrival generated"},
+		{MetricDriverAdmitted, KindCounter, "requests", "driver: dispatched into service"},
+		{MetricDriverQueued, KindCounter, "requests", "driver: waited in the admission queue"},
+		{MetricDriverShed, KindCounter, "requests", "driver: refused with *resilience.AdmitError"},
+		{MetricDriverCompleted, KindCounter, "requests", "driver: request completed"},
+		{MetricDriverFailed, KindCounter, "requests", "driver: typed clean failure"},
+		{MetricDriverLatency, KindHistogram, "seconds", "driver: arrival to completion"},
+		{MetricDriverWait, KindHistogram, "seconds", "driver: arrival to dispatch"},
+		{MetricDriverService, KindHistogram, "seconds", "driver: dispatch to completion"},
 		{MetricPlanOptimalFallback, KindCounter, "plans", "core: Optimal degraded to Algorithm 1"},
 		{MetricPlanPrunedLines, KindCounter, "lines", "core: AV011 never-win lines pruned from Optimal"},
 

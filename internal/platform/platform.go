@@ -132,6 +132,24 @@ func (p *Platform) FoldMetrics(reg *metrics.Registry) {
 	reg.Gauge(metrics.MetricNVMeCompleted).Set(float64(comp))
 }
 
+// Fingerprint digests the machine's observable cumulative state into a
+// fixed-format string: simulator clock and event count, CSE retirement,
+// flash array and FTL activity, and NVMe queue-pair totals. Two
+// platforms that executed bit-identical histories produce byte-identical
+// fingerprints, so tests can assert "this run left the machine exactly
+// where that one did" — the zero-traffic and parallel-invariance checks
+// of the serving driver compare fingerprints, not field lists.
+func (p *Platform) Fingerprint() string {
+	retired, rate := p.Dev.PerfCounters()
+	reads, programs, erases, rb, wb := p.Dev.Array.Stats()
+	gcRuns, moved, free := p.Dev.FTL.Stats()
+	sub, comp := p.Dev.QP.Stats()
+	return fmt.Sprintf(
+		"now=%v events=%d cse=%v@%v flash=%d/%d/%d,%v,%v ftl=%d/%d/%d nvme=%d/%d",
+		p.Sim.Now(), p.Sim.EventsFired(), retired, rate,
+		reads, programs, erases, rb, wb, gcRuns, moved, free, sub, comp)
+}
+
 // MeasureSlowdown runs the calibration microbenchmark of §III-A: the same
 // small sample computation is timed on one host core and one CSE core,
 // and the ratio is the constant C ActivePy multiplies host times by to

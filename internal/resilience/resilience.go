@@ -273,3 +273,22 @@ func (e *ShedError) Error() string {
 
 // Unwrap exposes the final attempt's failure.
 func (e *ShedError) Unwrap() error { return e.Cause }
+
+// AdmitError is the admission-control analogue of ShedError: a request
+// the serving driver refused at the front door because both the
+// in-flight budget and the wait queue were full. Load shedding is a
+// policy outcome, not a failure of the machinery — the driver accounts
+// the shed per tenant and keeps serving — but it travels typed so
+// harnesses can tell a deliberate shed from a bug, exactly as the
+// ladder's ShedError does for exhausted retries.
+type AdmitError struct {
+	Tenant   string // shedding tenant's name
+	Request  int    // tenant-local request sequence number
+	InFlight int    // requests in service when the arrival was refused
+	Queued   int    // requests waiting when the arrival was refused
+}
+
+func (e *AdmitError) Error() string {
+	return fmt.Sprintf("resilience: admission shed %s request %d: %d in flight, %d queued",
+		e.Tenant, e.Request, e.InFlight, e.Queued)
+}

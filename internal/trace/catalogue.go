@@ -38,6 +38,12 @@ const (
 	// CtrExecBreakerState is the offload circuit breaker's position,
 	// sampled at each transition: 0 closed, 0.5 half-open, 1 open.
 	CtrExecBreakerState = "exec.breaker_state"
+	// CtrDriverInFlight is the number of serving-driver requests in
+	// service (admitted, not yet completed).
+	CtrDriverInFlight = "driver.inflight"
+	// CtrDriverQueueDepth is the number of serving-driver requests
+	// waiting in the admission queue.
+	CtrDriverQueueDepth = "driver.queue_depth"
 )
 
 // CounterInfo describes one catalogued counter series.
@@ -67,6 +73,8 @@ func Catalogue() []CounterInfo {
 		{CtrCSDStatusMsgs, "messages", "csd", "Device.SendStatus"},
 		{CtrExecProgress, "fraction", "exec", "after each completed CSD line"},
 		{CtrExecBreakerState, "state", "exec", "breaker open/probe/close transitions"},
+		{CtrDriverInFlight, "requests", "driver", "request dispatch and completion"},
+		{CtrDriverQueueDepth, "requests", "driver", "admission-queue push/pop"},
 	}
 }
 
