@@ -12,6 +12,8 @@
 //	activego -list
 //	activego vet program.apy...          # static analysis / lint
 //	activego vet -workloads              # lint every embedded workload
+//	activego explain -workload tpch-6    # plan provenance: per-line Eq. 1 terms and verdicts
+//	activego explain -workload tpch-6 -run   # ... plus observed costs and drift cross-links
 package main
 
 import (
@@ -36,6 +38,9 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "vet" {
 		os.Exit(runVet(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "explain" {
+		os.Exit(runExplain(os.Args[2:]))
 	}
 	workload := flag.String("workload", "", "workload name (see -list)")
 	list := flag.Bool("list", false, "list available workloads")
@@ -94,6 +99,7 @@ func main() {
 	cfg := core.DefaultConfig()
 	cfg.Migration = !*noMigration
 	cfg.OverheadScale = params.OverheadScale()
+	cfg.ObsWindow = obs.ObsWindow
 	if *withResilience {
 		pol := resilience.Default(uint64(*seed))
 		cfg.Resilience = &pol
@@ -222,6 +228,7 @@ func runServe(name string, params workloads.Params, obs *cliutil.Flags,
 	res, err := driver.Run(p, driver.Config{
 		Seed: seed, Duration: duration, Tenants: tenants,
 		MaxInFlight: maxInFlight, Resilience: pol, Metrics: obs.Registry(),
+		ObsWindow: obs.ObsWindow,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "activego:", err)
@@ -238,6 +245,44 @@ func runServe(name string, params workloads.Params, obs *cliutil.Flags,
 	p.FoldMetrics(obs.Registry())
 	if err := obs.Finish(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "activego:", err)
+		return 1
+	}
+	return 0
+}
+
+// runExplain implements `activego explain`: render a workload's plan
+// provenance — the per-line Equation 1 terms, pin/prune verdicts, and
+// the projected-vs-all-host totals the placement was argued from — as a
+// table or JSON. With -run the workload also executes under windowed
+// observation and the table grows the drift cross-link columns
+// (observed cost per invocation, worst ratio, staleness).
+func runExplain(args []string) int {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	workload := fs.String("workload", "", "workload name (see activego -list)")
+	scaleDiv := fs.Int64("scalediv", 512, "divide Table I input sizes by this factor")
+	seed := fs.Int64("seed", 42, "generator seed")
+	asJSON := fs.Bool("json", false, "emit the explain record as indented JSON")
+	runIt := fs.Bool("run", false, "also execute the workload under windowed observation and cross-link drift columns")
+	window := fs.Float64("obswindow", 0, "observation window for -run in simulated seconds (0 = 1/16 of the projected runtime)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: activego explain -workload NAME [-scalediv N] [-seed S] [-json] [-run [-obswindow W]]")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	if *workload == "" {
+		fs.Usage()
+		return 2
+	}
+	err := cliutil.Explain(os.Stdout, cliutil.ExplainOptions{
+		Workload: *workload,
+		ScaleDiv: *scaleDiv,
+		Seed:     *seed,
+		JSON:     *asJSON,
+		Run:      *runIt,
+		Window:   *window,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "activego explain:", err)
 		return 1
 	}
 	return 0

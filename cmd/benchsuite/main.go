@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchsuite [-exp all|table1|fig2|fig4|fig5|accuracy|runtimeopt|robustness|resilience|utilization|serving]
+//	benchsuite [-exp all|table1|fig2|fig4|fig5|accuracy|runtimeopt|robustness|resilience|utilization|serving|drift]
 //	           [-scalediv N] [-seed S] [-outdir DIR] [-metrics out.json]
 //	           [-tenants N] [-arrival poisson|bursty|uniform|closed] [-qps Q] [-duration D]
 //	           [-httpmon addr] [-pprof cpu.pb] [-memprofile mem.pb]
@@ -41,7 +41,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, fig2, fig4, fig5, accuracy, runtimeopt, robustness, resilience, utilization, serving")
+	exp := flag.String("exp", "all", "experiment: all, table1, fig2, fig4, fig5, accuracy, runtimeopt, robustness, resilience, utilization, serving, drift")
 	chaosN := flag.Int("chaos", 0, "run N extra randomized chaos fault schedules after the resilience experiment (0 = just the built-in sub-run)")
 	chaosSeed := flag.Uint64("chaos-seed", experiments.ResilienceSeed, "seed for the -chaos schedule sweep")
 	scaleDiv := flag.Int64("scalediv", 512, "divide Table I input sizes by this factor")
@@ -162,6 +162,16 @@ func main() {
 			metrics.ObserveRecording(sub, res.Rec)
 			return res.Bench(params), nil
 		},
+		"drift": func(mopts []experiments.Option, _ *metrics.Registry, out io.Writer) (*bench.Manifest, error) {
+			res, tbl, err := experiments.Drift(params, mopts...)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprint(out, tbl.String())
+			fmt.Fprintf(out, "stale: control %v, burst %v of offloaded %v (overlap %d)\n",
+				res.Control.Stale, res.Burst.Stale, res.Offloaded, res.StaleOffloadedOverlap())
+			return res.Bench(params), nil
+		},
 		"utilization": func(mopts []experiments.Option, sub *metrics.Registry, out io.Writer) (*bench.Manifest, error) {
 			u, tbl, err := experiments.Utilization(params, mopts...)
 			if err != nil {
@@ -193,7 +203,7 @@ func main() {
 			return u.Bench(params), nil
 		},
 	}
-	order := []string{"table1", "fig2", "fig4", "fig5", "accuracy", "runtimeopt", "robustness", "resilience", "utilization", "serving"}
+	order := []string{"table1", "fig2", "fig4", "fig5", "accuracy", "runtimeopt", "robustness", "resilience", "utilization", "serving", "drift"}
 
 	names := order
 	if *exp != "all" {

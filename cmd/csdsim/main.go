@@ -13,6 +13,7 @@
 //	csdsim -chaos N [-chaos-seed S]  # N randomized device-level fault schedules
 //	csdsim -serve [-tenants N] [-arrival P] [-qps Q] [-duration D]
 //	csdsim -lint program.apy...      # static-analysis lint, no simulation
+//	csdsim -explain -workload tpch-6 [-json] [-obswindow W]  # plan provenance, as activego explain
 package main
 
 import (
@@ -45,12 +46,29 @@ func main() {
 	chaosN := flag.Int("chaos", 0, "run N randomized device-level fault schedules instead of the benchmark")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the -chaos schedule sweep")
 	serve := flag.Bool("serve", false, "drive a multi-tenant serving run of synthetic device requests (DESIGN.md §14) instead of the benchmark")
+	explain := flag.Bool("explain", false, "render a workload's plan provenance (per-line Eq. 1 terms and placement verdicts) instead of the benchmark")
+	workload := flag.String("workload", "", "with -explain: workload name (see activego -list)")
+	scaleDiv := flag.Int64("scalediv", 512, "with -explain: divide Table I input sizes by this factor")
+	seed := flag.Int64("seed", 42, "with -explain: generator seed")
 	obs := cliutil.Register(flag.CommandLine)
 	srv := cliutil.RegisterServing(flag.CommandLine)
 	flag.Parse()
 
 	if *lint {
 		os.Exit(runLint(flag.Args(), *lintJSON, *lintWerror))
+	}
+	if *explain {
+		// -obswindow doubles as the "also run and cross-link drift" knob:
+		// a window implies a windowed execution to fill it.
+		err := cliutil.Explain(os.Stdout, cliutil.ExplainOptions{
+			Workload: *workload, ScaleDiv: *scaleDiv, Seed: *seed,
+			JSON: *lintJSON, Run: obs.ObsWindow > 0, Window: obs.ObsWindow,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "csdsim -explain:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *chaosN > 0 {
 		os.Exit(runDeviceChaos(*chaosN, *chaosSeed, *retryTimeout))

@@ -43,6 +43,7 @@ const (
 	CodeBoundMismatch   = "AV009" // static execution-count bound contradicts the fitted profile
 	CodeUnboundedLoop   = "AV010" // statically-infinite or unbounded loop
 	CodeNeverWin        = "AV011" // offload's provable minimum cost exceeds the host cost
+	CodeDrift           = "AV012" // observed per-line cost diverges persistently from the fitted model
 
 	CodeIllegalOffload = "AV101" // partition offloads a host-only line
 	CodeUnknownLine    = "AV102" // partition offloads a nonexistent line

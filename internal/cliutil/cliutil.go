@@ -32,6 +32,7 @@ type Flags struct {
 	Metrics      string // -metrics: registry snapshot JSON path ("-" = stdout)
 	HTTPMon      string // -httpmon: live monitoring listen address (RegisterMonitor)
 	Jobs         int    // -j: worker count for deterministic fan-outs
+	ObsWindow    float64 // -obswindow: sim-time observation window (DESIGN.md §15); 0 = off
 
 	rec     *trace.Recorder
 	reg     *metrics.Registry
@@ -48,6 +49,7 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile of this process to the file on exit")
 	fs.StringVar(&f.Metrics, "metrics", "", "write the metrics registry snapshot as JSON to this file (- for stdout)")
 	fs.IntVar(&f.Jobs, "j", 1, "workers for deterministic fan-outs (sampling scales, Optimal shards, experiment sweeps); 1 = serial, 0 = GOMAXPROCS; output is bit-identical at any value")
+	fs.Float64Var(&f.ObsWindow, "obswindow", 0, "bin observed costs into simulated-time windows of this many seconds and fold them into the metrics snapshot as obs.win.* series (DESIGN.md §15); 0 = off")
 	return f
 }
 

@@ -31,6 +31,7 @@ import (
 	"activego/internal/lang/parser"
 	"activego/internal/lang/value"
 	"activego/internal/metrics"
+	"activego/internal/obs"
 	"activego/internal/par"
 	"activego/internal/plan"
 	"activego/internal/platform"
@@ -57,6 +58,13 @@ type Config struct {
 	// offload path (deadlines, backoff re-posts, circuit breaker, typed
 	// shed) — see internal/resilience and DESIGN.md §12.
 	Resilience *resilience.Policy
+	// ObsWindow, when positive, attaches the windowed observability layer
+	// (internal/obs, DESIGN.md §15): per-line observed costs are binned
+	// into ObsWindow-second sim-time windows, scored for drift against
+	// the fitted model after the run (AV012 advisories + obs.drift.*
+	// metrics), and folded into Metrics as obs.win.* entries. Zero (the
+	// default) is the inert state — the run is bit-identical without it.
+	ObsWindow float64
 }
 
 // DefaultConfig is the full-fledged ActivePy runtime.
@@ -76,10 +84,18 @@ type Outcome struct {
 	Exec     *exec.Result
 
 	// Advisories are the dynamic-input static-analysis findings: AV009
-	// (fitted execution counts contradicting the proved static bounds)
-	// and AV011 (offloads pruned because they provably cannot win).
-	// Purely informational — the plan above already reflects them.
+	// (fitted execution counts contradicting the proved static bounds),
+	// AV011 (offloads pruned because they provably cannot win), and — on
+	// windowed runs — AV012 (observed costs persistently diverging from
+	// the fitted model). Purely informational — the plan above already
+	// reflects them.
 	Advisories []analysis.Diagnostic
+
+	// Obs is the windowed cost collector, populated only when
+	// Config.ObsWindow was positive; nil otherwise. Drift is its scored
+	// comparison against the plan's fitted costs (DESIGN.md §15).
+	Obs   *obs.Collector
+	Drift *obs.DriftReport
 }
 
 // Runtime is an ActivePy instance bound to one platform.
@@ -151,8 +167,9 @@ func (rt *Runtime) analyzeAll(src string, reg *inputs.Registry) (*ast.Program, *
 	stop = rt.Metrics.Phase(metrics.PhasePlan)
 	estimates := plan.BuildEstimates(report.Predictions(), rt.Machine, codegen.Native)
 	cons := plan.Constraints{HostOnly: static.HostPinned()}
-	advisories := adviseEstimates(static, report, estimates, rt.Machine, cons.HostOnly)
+	advisories, pruned := adviseEstimates(static, report, estimates, rt.Machine, cons.HostOnly)
 	planRes := plan.OptimalPool(estimates, cons, rt.Machine, rt.Pool)
+	planRes.Provenance = plan.BuildProvenance(planRes, cons, pruned, rt.Machine)
 	stop()
 	if planRes.Planner != plan.PlannerOptimal {
 		// The exact planner degraded to the greedy walk (more than
@@ -171,14 +188,17 @@ func (rt *Runtime) analyzeAll(src string, reg *inputs.Registry) (*ast.Program, *
 // against the proved static bounds, and the AV011 never-win proof —
 // whose lines it also pins into hostOnly (in place), shrinking the
 // Optimal enumeration. Pinning a never-win line provably preserves the
-// argmin (see plan.NeverWin), so this only makes planning cheaper.
-func adviseEstimates(static *analysis.Report, report *profile.Report, estimates []plan.LineEstimate, m plan.Machine, hostOnly map[int]string) []analysis.Diagnostic {
+// argmin (see plan.NeverWin), so this only makes planning cheaper. The
+// full pruned list is returned alongside the advisories so provenance
+// can record margins even for lines legality had already pinned.
+func adviseEstimates(static *analysis.Report, report *profile.Report, estimates []plan.LineEstimate, m plan.Machine, hostOnly map[int]string) ([]analysis.Diagnostic, []plan.PrunedLine) {
 	var ms []analysis.Measured
 	for _, p := range report.Predictions() {
 		ms = append(ms, analysis.Measured{Line: p.Line, Execs: p.Execs})
 	}
 	advisories := static.CheckMeasured(ms)
-	for _, pr := range plan.NeverWin(estimates, m) {
+	pruned := plan.NeverWin(estimates, m)
+	for _, pr := range pruned {
 		if _, already := hostOnly[pr.Line]; already {
 			continue
 		}
@@ -188,7 +208,7 @@ func adviseEstimates(static *analysis.Report, report *profile.Report, estimates 
 			Msg: pr.Reason,
 		})
 	}
-	return advisories
+	return advisories, pruned
 }
 
 // prunedCount counts the AV011 findings in an advisory set.
@@ -228,7 +248,7 @@ func (rt *Runtime) Run(src string, reg *inputs.Registry, cfg Config) (*Outcome, 
 	if err != nil {
 		return nil, err
 	}
-	out.Advisories = advisories
+	out.Advisories = append(advisories, out.Drift.Advisories()...)
 	return out, nil
 }
 
@@ -294,6 +314,7 @@ func (rt *Runtime) execute(prog *ast.Program, static *analysis.Report, report *p
 	if cfg.Migration {
 		mig = exec.DefaultMigration()
 	}
+	col := obs.NewCollector(cfg.ObsWindow, 0)
 	stop := rt.Metrics.Phase(metrics.PhaseExecute)
 	res, err := exec.Run(rt.Plat, trace.trace, exec.Options{
 		Backend:          codegen.Native,
@@ -306,12 +327,13 @@ func (rt *Runtime) execute(prog *ast.Program, static *analysis.Report, report *p
 		Analysis:         static,
 		Resilience:       cfg.Resilience,
 		Metrics:          rt.Metrics,
+		Obs:              col,
 	})
 	stop()
 	if err != nil {
 		return nil, err
 	}
-	return &Outcome{
+	out := &Outcome{
 		Program:  prog,
 		Analysis: static,
 		Profile:  report,
@@ -320,5 +342,16 @@ func (rt *Runtime) execute(prog *ast.Program, static *analysis.Report, report *p
 		Env:      env,
 		Outputs:  trace.outputs,
 		Exec:     res,
-	}, nil
+	}
+	if col != nil {
+		// Score the windowed observations against the plan's fitted costs
+		// and bill both layers; a stale line becomes an AV012 advisory in
+		// Run. All of this happens after the simulated run finished — obs
+		// observes, it never feeds a decision.
+		out.Obs = col
+		out.Drift = obs.ScoreDrift(col, obs.PlannedCosts(planRes, rt.Machine), obs.DefaultDriftConfig())
+		col.Windows().Fold(rt.Metrics)
+		out.Drift.Fold(rt.Metrics)
+	}
+	return out, nil
 }

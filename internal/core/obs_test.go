@@ -1,0 +1,94 @@
+package core_test
+
+import (
+	"testing"
+
+	"activego/internal/core"
+	"activego/internal/lang/value"
+)
+
+// TestObsWindowDoesNotPerturbRun pins the nil-is-inert contract at the
+// pipeline level: a run observed under a windowed collector must be
+// bit-identical in every simulated outcome to the same run with
+// observation off — recording never schedules events or perturbs time.
+func TestObsWindowDoesNotPerturbRun(t *testing.T) {
+	run := func(window float64) *core.Outcome {
+		reg := scanRegistry(1 << 16)
+		rt := newRuntime()
+		rt.PreloadInputs(reg)
+		cfg := core.DefaultConfig()
+		cfg.OverheadScale = 1e-4
+		cfg.ObsWindow = window
+		out, err := rt.Run(scanProgram, reg, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	plain := run(0)
+	observed := run(plain.Exec.Duration / 8)
+
+	if plain.Obs != nil || plain.Drift != nil {
+		t.Error("ObsWindow=0 must leave Obs and Drift nil")
+	}
+	if observed.Obs == nil || observed.Drift == nil {
+		t.Fatal("windowed run must populate Obs and Drift")
+	}
+	if observed.Exec.Duration != plain.Exec.Duration {
+		t.Errorf("observation perturbed the simulation: %v vs %v",
+			observed.Exec.Duration, plain.Exec.Duration)
+	}
+	for _, name := range []string{"n", "s"} {
+		a, _ := plain.Env.Get(name)
+		b, _ := observed.Env.Get(name)
+		if a != b {
+			t.Errorf("%s: %v vs %v", name, a, b)
+		}
+	}
+	nv, _ := observed.Env.Get("n")
+	if int64(nv.(value.Int)) != int64(1<<16/100*49) {
+		t.Errorf("n = %v", nv)
+	}
+
+	// The collector attributed costs to the offloaded scan lines.
+	if got := observed.Obs.Windows().Count(); got < 2 {
+		t.Errorf("collector spanned %d windows, want >= 2", got)
+	}
+	names := observed.Obs.Windows().Names()
+	if len(names) == 0 {
+		t.Fatal("collector observed no series")
+	}
+	// An in-model run must not raise AV012 — the plan's own costs fit.
+	if stale := observed.Drift.StaleLines(); len(stale) != 0 {
+		t.Errorf("undisturbed run flagged stale lines %v", stale)
+	}
+}
+
+// TestProvenanceAttached pins that every Analyze carries the frozen
+// provenance record the explain renderer and drift scorer consume.
+func TestProvenanceAttached(t *testing.T) {
+	reg := scanRegistry(1 << 18)
+	rt := newRuntime()
+	rt.PreloadInputs(reg)
+	_, _, planRes, err := rt.Analyze(scanProgram, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := planRes.Provenance
+	if p == nil {
+		t.Fatal("plan result missing provenance")
+	}
+	if p.THost != planRes.THost || p.TCSD != planRes.TCSD {
+		t.Errorf("provenance totals %v/%v vs plan %v/%v", p.THost, p.TCSD, planRes.THost, planRes.TCSD)
+	}
+	byLine := p.ByLine()
+	for _, ln := range planRes.Partition.Lines() {
+		lp := byLine[ln]
+		if lp == nil {
+			t.Fatalf("offloaded line %d missing from provenance", ln)
+		}
+		if !lp.OnCSD {
+			t.Errorf("line %d provenance says host, plan says csd", ln)
+		}
+	}
+}

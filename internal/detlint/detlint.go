@@ -123,8 +123,8 @@ type Config struct {
 // DefaultConfig scopes the passes to this repository's layering.
 func DefaultConfig() Config {
 	return Config{
-		DeterministicPkgs: []string{"sim", "plan", "par", "fault", "chaos", "resilience", "experiments", "driver"},
-		NilInert:          []string{"trace.Recorder", "par.Pool", "metrics.Registry"},
+		DeterministicPkgs: []string{"sim", "plan", "par", "fault", "chaos", "resilience", "experiments", "driver", "obs"},
+		NilInert:          []string{"trace.Recorder", "par.Pool", "metrics.Registry", "obs.Windows", "obs.Collector", "obs.DriftReport"},
 		OrderedSinks: []string{
 			"report.Table", "trace.Recorder",
 			"metrics.Registry", "metrics.Counter", "metrics.Gauge", "metrics.Histogram",

@@ -14,6 +14,7 @@ import (
 	"activego/internal/detlint"
 	"activego/internal/driver"
 	"activego/internal/metrics"
+	"activego/internal/obs"
 	"activego/internal/trace"
 )
 
@@ -251,7 +252,7 @@ func TestLintCodesDocumentedInDesignDoc(t *testing.T) {
 		analysis.CodeUndefined, analysis.CodeUnknownFunc, analysis.CodeArity,
 		analysis.CodeDeadStore, analysis.CodeLoopInvariant, analysis.CodeUnreachable,
 		analysis.CodeStrayBreak, analysis.CodeOptimalFallback, analysis.CodeBoundMismatch,
-		analysis.CodeUnboundedLoop, analysis.CodeNeverWin,
+		analysis.CodeUnboundedLoop, analysis.CodeNeverWin, analysis.CodeDrift,
 		analysis.CodeIllegalOffload, analysis.CodeUnknownLine, analysis.CodePingPong,
 	}
 	for _, c := range codes {
@@ -291,6 +292,41 @@ func TestServingSectionMatchesDriverCatalogues(t *testing.T) {
 	for _, m := range driverName.FindAllStringSubmatch(sect, -1) {
 		if !known[m[1]] {
 			t.Errorf("DESIGN.md §14 names %q, which is in neither driver catalogue", m[1])
+		}
+	}
+}
+
+// obsName matches a backticked obs metric name inside DESIGN.md §15
+// prose: `obs.<dotted.path>` ending on a word character, so scheme
+// templates like obs.win.<window>... don't match.
+var obsName = regexp.MustCompile("`(obs\\.[a-z0-9_.]*[a-z0-9_])`")
+
+// TestObsSectionMatchesCatalogue pins DESIGN.md §15's prose to the obs
+// slice of the §10 catalogue, both directions: every obs metric the
+// code registers is named in §15, and every `obs.*` name §15 mentions
+// is either a catalogued metric or a valid obs.win scheme instance —
+// the §14 enforcement extended to the observability layer.
+func TestObsSectionMatchesCatalogue(t *testing.T) {
+	sect := designSection(t, "15")
+	known := map[string]bool{}
+	for _, m := range obs.CataloguedMetrics() {
+		known[m.Name] = true
+		if !strings.Contains(sect, "`"+m.Name+"`") {
+			t.Errorf("obs metric %q is catalogued but not named in DESIGN.md §15", m.Name)
+		}
+	}
+	if len(known) == 0 {
+		t.Fatal("obs catalogue is empty; wiring broken?")
+	}
+	for _, m := range obsName.FindAllStringSubmatch(sect, -1) {
+		if !known[m[1]] && !metrics.Catalogued(m[1]) {
+			t.Errorf("DESIGN.md §15 names %q, which is neither catalogued nor a valid obs.win scheme name", m[1])
+		}
+	}
+	// §15 must document the AV012 advisory and the window scheme anchor.
+	for _, want := range []string{"AV012", "metrics.ObsWindowPrefix"} {
+		if !strings.Contains(sect, want) {
+			t.Errorf("DESIGN.md §15 does not mention %s", want)
 		}
 	}
 }

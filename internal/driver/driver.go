@@ -25,6 +25,7 @@ import (
 	"activego/internal/fault"
 	"activego/internal/metrics"
 	"activego/internal/nvme"
+	"activego/internal/obs"
 	"activego/internal/platform"
 	"activego/internal/resilience"
 	"activego/internal/sim"
@@ -69,6 +70,19 @@ type Config struct {
 	// Metrics, when set, receives every tenant's sub-registry merged in
 	// tenant order after the run. Observation only; nil changes nothing.
 	Metrics *metrics.Registry
+	// ObsWindow, when positive, bins each tenant's completed-request
+	// latencies into ObsWindow-second sim-time windows (internal/obs,
+	// DESIGN.md §15) and folds them into the tenant's sub-registry as
+	// obs.win.* gauges — series names carry a t<index>. prefix so the
+	// tenant-order merge never collides. Zero records no windows.
+	ObsWindow float64
+	// Obs, when set, is handed to every admitted request's executor so
+	// per-line costs (compute seconds, D2H bytes, retries, queue wait)
+	// accumulate across requests on one shared collector — the drift
+	// study scores it against the scenario's plan provenance. Line
+	// numbers are per-program, so this is meaningful when the traffic is
+	// a single scenario (or scenarios sharing a line map). Nil is inert.
+	Obs *obs.Collector
 }
 
 func (c Config) maxInFlight() int {
@@ -170,6 +184,7 @@ type tenantState struct {
 	cfg   TenantConfig
 	name  string
 	reg   *metrics.Registry // per-tenant sub-registry, always non-nil
+	win   *obs.Windows      // per-window latency series; nil when ObsWindow is off
 	rng   *stream
 	seq   int // next tenant-local request number
 
@@ -225,6 +240,7 @@ func Run(p *platform.Platform, cfg Config) (*Result, error) {
 			cfg:   tc,
 			name:  tc.Name,
 			reg:   metrics.New(),
+			win:   obs.NewWindows(cfg.ObsWindow, 0),
 			rng:   &stream{state: fault.Mix64(cfg.Seed ^ fault.Mix64(uint64(i)+1))},
 		}
 		if ts.name == "" {
@@ -332,6 +348,7 @@ func (e *engine) dispatch(req *request) {
 		Warm:          true,
 		Resilience:    e.cfg.Resilience,
 		Metrics:       ts.reg,
+		Obs:           e.cfg.Obs,
 	}, func(res *exec.Result, rerr error) { e.finish(req, rerr) })
 	if err != nil && e.fatal == nil {
 		e.fatal = fmt.Errorf("driver: %s request %d: %w", ts.name, req.seq, err)
@@ -358,6 +375,9 @@ func (e *engine) finish(req *request, rerr error) {
 		ts.reg.Counter(metrics.MetricDriverCompleted).Add(1)
 		ts.reg.Histogram(metrics.MetricDriverLatency).Observe(now - req.arrived)
 		ts.reg.Histogram(metrics.MetricDriverService).Observe(now - req.dispatched)
+		// Window indices count from the run start, so tenant series line
+		// up no matter how warm the platform's clock was at entry.
+		ts.win.Observe(fmt.Sprintf("t%d.latency.seconds", ts.index), now-e.start, now-req.arrived)
 	}
 	if req.closedLoop {
 		e.reissueAfterThink(ts, now)
@@ -424,6 +444,7 @@ func (e *engine) results() *Result {
 		r.Completed += ts.completed
 		r.Failed += ts.failed
 		shares = append(shares, float64(ts.completed)/math.Max(1, float64(ts.offered)))
+		ts.win.Fold(ts.reg)
 		e.cfg.Metrics.Merge(ts.reg)
 	}
 	r.Fairness = Jain(shares)

@@ -31,6 +31,12 @@ type Scenario struct {
 	// OverheadScale forwards the workload's scale factor into exec so
 	// migration regeneration costs stay proportioned to the scaled runs.
 	OverheadScale float64
+	// Provenance is the plan-time decision record captured when the
+	// scenario was constructed through the real pipeline (nil for
+	// Synthetic scenarios, which never ran a planner). `activego explain`
+	// and the drift study read it to cross-link observed costs back to
+	// the Equation 1 terms the placement was argued from.
+	Provenance *plan.Provenance
 }
 
 // Constructor builds a Scenario at the given workload scale. The yabf
@@ -113,6 +119,7 @@ func workloadConstructor(spec workloads.Spec) Constructor {
 			Estimates:     planRes.ByLine(),
 			Backend:       codegen.Native,
 			OverheadScale: params.OverheadScale(),
+			Provenance:    planRes.Provenance,
 		}, nil
 	}
 }

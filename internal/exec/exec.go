@@ -31,6 +31,7 @@ import (
 	"activego/internal/lang/interp"
 	"activego/internal/metrics"
 	"activego/internal/nvme"
+	"activego/internal/obs"
 	"activego/internal/plan"
 	"activego/internal/platform"
 	"activego/internal/resilience"
@@ -150,6 +151,11 @@ type Options struct {
 	// retries, link bytes). Observation only — a nil registry leaves the
 	// run bit-identical, and a non-nil one never feeds a decision.
 	Metrics *metrics.Registry
+	// Obs, when set, attributes observed per-line costs to sim-time
+	// windows (DESIGN.md §15): compute seconds per unit, per-attempt D2H
+	// bytes, call-queue wait, and retries. Same contract as Metrics: a
+	// nil collector is inert and a live one never feeds a decision.
+	Obs *obs.Collector
 }
 
 // overheadScale resolves the overhead multiplier.
@@ -225,6 +231,7 @@ type executor struct {
 	lineAttempts int      // failed attempts of the current record
 	lineRetries  uint64   // total exec-level line re-posts
 	lineStart    sim.Time // dispatch time of the current attempt, for spans
+	lineD2H0     float64  // link-bytes baseline at dispatch, for per-attempt attribution
 
 	d2hBytes0     float64
 	statusMsgs0   uint64
@@ -459,6 +466,7 @@ func (e *executor) sampleBreakerState() {
 // call queue when configured; failures land in failLine.
 func (e *executor) dispatch(rec *interp.LineRecord, unit Unit) {
 	e.lineStart = e.p.Sim.Now()
+	e.lineD2H0 = e.p.Topo.D2H.TotalBytes()
 	if unit == UnitCSD && e.opts.UseCallQueue {
 		// §III-C-b: the host posts the line invocation to the call queue
 		// mapped in device memory; the CSE picks it up, runs it, and the
@@ -470,6 +478,9 @@ func (e *executor) dispatch(rec *interp.LineRecord, unit Unit) {
 			deadline = e.p.Sim.Now() + pol.LineDeadline
 		}
 		e.p.Host.CallDeadline(e.p.Dev, csd.Call(func(_ *csd.Device, done func(uint16, any)) {
+			// The CSE has picked the call up: everything since dispatch was
+			// queue traversal. Observation only — a nil collector no-ops.
+			e.opts.Obs.Queue(rec.Line, e.p.Sim.Now(), e.p.Sim.Now()-e.lineStart)
 			e.runRecord(rec, UnitCSD, func(err error) {
 				if err != nil {
 					done(nvme.StatusMediaError, err.Error())
@@ -523,6 +534,7 @@ func (e *executor) failLine(rec *interp.LineRecord, unit Unit, cause error) {
 		if r := e.p.Sim.Recorder(); r != nil {
 			r.Instant("exec", "fault", "line-retry", e.p.Sim.Now(), trace.Arg{Key: "line", Value: rec.Line})
 		}
+		e.opts.Obs.Retry(rec.Line, e.p.Sim.Now())
 		e.dispatch(rec, unit)
 		return
 	}
@@ -573,6 +585,7 @@ func (e *executor) failLineResilient(rec *interp.LineRecord, unit Unit, cause er
 		e.lineAttempts++
 		e.lineRetries++
 		e.instant("line-retry", rec.Line)
+		e.opts.Obs.Retry(rec.Line, e.p.Sim.Now())
 		delay := pol.Backoff.Delay(uint64(e.idx), e.lineAttempts)
 		e.p.Sim.AfterNamed(delay, "resilience-backoff", func() { e.dispatch(rec, unit) })
 		return
@@ -608,6 +621,8 @@ func (e *executor) afterRecord(rec *interp.LineRecord, unit Unit) {
 		}
 		m.Histogram(name).Observe(e.p.Sim.Now() - e.lineStart)
 	}
+	e.opts.Obs.Line(rec.Line, unit.String(), e.p.Sim.Now(),
+		e.p.Sim.Now()-e.lineStart, e.p.Topo.D2H.TotalBytes()-e.lineD2H0)
 	if unit == UnitCSD {
 		if e.breaker != nil && e.breaker.OnSuccess(e.p.Sim.Now()) {
 			// The half-open probe succeeded: offload is re-admitted.

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"activego/internal/metrics"
+	"activego/internal/par"
+)
+
+// TestDriftStudyShape pins the study's headline claim: the burst arm's
+// availability drop makes the detector flag at least one genuinely
+// stale line — one the plan offloaded, whose cost the burst really
+// inflated — while the burst-free control arm flags none.
+func TestDriftStudyShape(t *testing.T) {
+	res, tbl, err := Drift(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Control.Stale) != 0 {
+		t.Errorf("control arm flagged %v stale with no burst — false positives", res.Control.Stale)
+	}
+	if len(res.Burst.Stale) == 0 {
+		t.Error("burst arm flagged no stale lines under a 10%% availability burst")
+	}
+	if got := res.StaleOffloadedOverlap(); got != len(res.Burst.Stale) {
+		t.Errorf("burst stale set %v not contained in offloaded set %v (overlap %d)",
+			res.Burst.Stale, res.Offloaded, got)
+	}
+	if len(res.Offloaded) == 0 {
+		t.Fatal("plan offloaded nothing; the study needs CSD lines to skew")
+	}
+	// Staleness must date from the burst, not before it: every stale
+	// streak's start window must be at or past the burst instant.
+	burstWin := int(res.BurstAt / res.Window)
+	for _, ld := range res.Burst.Report.Lines {
+		if ld.Stale && ld.StaleSince < burstWin {
+			t.Errorf("line %d stale since window %d, before the burst window %d",
+				ld.Line, ld.StaleSince, burstWin)
+		}
+	}
+	if res.Provenance == nil || len(res.Provenance.Lines) == 0 {
+		t.Error("study result carries no provenance to cross-link")
+	}
+	if tbl.String() == "" {
+		t.Error("empty drift table")
+	}
+}
+
+// TestDriftParallelInvariance extends the §11 determinism contract to
+// the drift study: results, table, manifest JSON, and the metrics
+// snapshot — which now includes obs.win.* windowed series — must be
+// bit-identical between -j 1 and -j 8.
+func TestDriftParallelInvariance(t *testing.T) {
+	serialReg := metrics.New()
+	serialRes, serialTbl, err := Drift(testParams(), WithMetrics(serialReg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parReg := metrics.New()
+	parRes, parTbl, err := Drift(testParams(), WithMetrics(parReg), WithPool(par.New(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serialRes.Control, parRes.Control) || !reflect.DeepEqual(serialRes.Burst, parRes.Burst) {
+		t.Error("drift arms differ under the pool")
+	}
+	if s, p := serialTbl.String(), parTbl.String(); s != p {
+		t.Errorf("drift table differs under the pool:\nserial:\n%s\nparallel:\n%s", s, p)
+	}
+	serialMan, err := json.Marshal(serialRes.Bench(testParams()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parMan, err := json.Marshal(parRes.Bench(testParams()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialMan, parMan) {
+		t.Errorf("drift manifest JSON differs under the pool (%d vs %d bytes)",
+			len(serialMan), len(parMan))
+	}
+	if s, p := canonSnap(serialReg.Snapshot()), canonSnap(parReg.Snapshot()); !reflect.DeepEqual(s, p) {
+		t.Errorf("drift metrics snapshot differs under the pool:\nserial:   %+v\nparallel: %+v", s, p)
+	}
+}

@@ -261,6 +261,44 @@ func (r *ServingResult) Bench(params workloads.Params) *bench.Manifest {
 	return m
 }
 
+// Bench converts the drift study: the burst arm must keep flagging
+// stale lines and the control arm must stay clean — both directions
+// gate, because either collapsing means the detector broke. Ratios and
+// accounting ride as info.
+func (r *DriftResult) Bench(params workloads.Params) *bench.Manifest {
+	m := bench.NewManifest("drift", params.Seed, params.ScaleDiv)
+	for _, arm := range []*DriftArm{&r.Control, &r.Burst} {
+		w := bench.Workload{Name: arm.Name, Planner: "activepy-optimal"}
+		dir := bench.LowerIsBetter // control: stale lines must stay 0
+		if arm.Burst {
+			dir = bench.HigherIsBetter // burst: the detector must keep firing
+		}
+		w.Add("stale.lines", float64(len(arm.Stale)), "", dir)
+		var diverged, checks int
+		var maxRatio float64
+		for _, ld := range arm.Report.Lines {
+			checks += ld.Windows
+			diverged += ld.Diverged
+			if ld.Ratio > maxRatio {
+				maxRatio = ld.Ratio
+			}
+		}
+		w.Add("windows.checked", float64(checks), "", "")
+		w.Add("windows.diverged", float64(diverged), "", "")
+		w.Add("max.ratio", maxRatio, "x", "")
+		w.Add("completed", float64(arm.Res.Completed), "", bench.HigherIsBetter)
+		w.Add("shed", float64(arm.Res.Shed), "", "")
+		m.Workloads = append(m.Workloads, w)
+	}
+	agg := bench.Workload{Name: "SUMMARY"}
+	agg.Add("stale.offloaded.overlap", float64(r.StaleOffloadedOverlap()), "", bench.HigherIsBetter)
+	agg.Add("offloaded.lines", float64(len(r.Offloaded)), "", "")
+	agg.Add("solo.seconds", r.Solo, "s", "")
+	agg.Add("window.seconds", r.Window, "s", "")
+	m.Workloads = append(m.Workloads, agg)
+	return m
+}
+
 func boolVal(b bool) float64 {
 	if b {
 		return 1

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestHistogramQuantileEdges pins the estimator's boundary behavior:
+// the empty histogram, a distribution collapsed into one bucket, and
+// observations landing exactly on a power-of-two bucket edge.
+func TestHistogramQuantileEdges(t *testing.T) {
+	empty := New().Histogram("e")
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty histogram q%v = %v, want 0", q, got)
+		}
+	}
+
+	// All mass in one bucket: min/max clamping makes every quantile the
+	// single observed value, not the bucket's upper bound.
+	single := New().Histogram("s")
+	for i := 0; i < 10; i++ {
+		single.Observe(3)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.95, 1} {
+		if got := single.Quantile(q); got != 3 {
+			t.Errorf("single-bucket q%v = %v, want 3", q, got)
+		}
+	}
+
+	// A value exactly on a bucket edge (2^2 = 4) belongs to that bucket
+	// — (2, 4] is inclusive above — so its quantile comes back exact.
+	edge := New().Histogram("b")
+	edge.Observe(4)
+	edge.Observe(4)
+	if got := edge.Quantile(0.5); got != 4 {
+		t.Errorf("boundary q50 = %v, want 4", got)
+	}
+	// Rank arithmetic at the q boundary between two buckets: 2 is the
+	// first observation (rank 1), so q at exactly count boundary 0.5
+	// stays in the low bucket and 0.51 crosses into the next.
+	two := New().Histogram("t")
+	two.Observe(2)
+	two.Observe(4)
+	if got := two.Quantile(0.5); got != 2 {
+		t.Errorf("two-bucket q50 = %v, want 2 (rank 1)", got)
+	}
+	if got := two.Quantile(0.51); got != 4 {
+		t.Errorf("two-bucket q51 = %v, want 4 (rank 2)", got)
+	}
+}
+
+// TestMergeWindowedSeriesTenantOrder pins the serving driver's window
+// fold-and-merge protocol: per-tenant sub-registries carrying
+// tenant-prefixed obs.win.* gauges, merged in tenant order, must
+// snapshot byte-identically to the serial recording — the -j1 ≡ -j8
+// contract for windowed series.
+func TestMergeWindowedSeriesTenantOrder(t *testing.T) {
+	fold := func(reg *Registry, tenant, window int, p50 float64) {
+		base := fmt.Sprintf("%s%04d.t%d.latency.seconds.", ObsWindowPrefix, window, tenant)
+		reg.Gauge(base + "count").Set(3)
+		reg.Gauge(base + "sum").Set(p50 * 3)
+		reg.Gauge(base + "p50").Set(p50)
+		reg.Gauge(base + "p95").Set(p50 * 2)
+		reg.Gauge(base + "p99").Set(p50 * 2)
+	}
+
+	serial := New()
+	for tenant := 0; tenant < 4; tenant++ {
+		for w := 0; w < 3; w++ {
+			fold(serial, tenant, w, float64(tenant+1)*1e-3)
+		}
+	}
+
+	// The parallel shape: each tenant folds into a private registry
+	// (any completion order), merged back in tenant order.
+	subs := make([]*Registry, 4)
+	for tenant := 3; tenant >= 0; tenant-- { // record out of order
+		subs[tenant] = New()
+		for w := 0; w < 3; w++ {
+			fold(subs[tenant], tenant, w, float64(tenant+1)*1e-3)
+		}
+	}
+	merged := New()
+	for _, sub := range subs {
+		merged.Merge(sub)
+	}
+
+	var a, b bytes.Buffer
+	if err := serial.Snapshot().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("tenant-order merge of windowed series is not byte-identical to serial recording:\n%s\nvs\n%s", a.String(), b.String())
+	}
+
+	// Every folded name passes the obs.win scheme check.
+	for _, g := range merged.Snapshot().Gauges {
+		if !Catalogued(g.Name) {
+			t.Errorf("windowed gauge %q not catalogued", g.Name)
+		}
+	}
+	// Malformed variants of the scheme must be rejected.
+	for _, bad := range []string{"obs.win.", "obs.win.x.series.p50", "obs.win.12", "obs.win.12."} {
+		if Catalogued(bad) {
+			t.Errorf("%q should not be Catalogued", bad)
+		}
+	}
+}

@@ -168,6 +168,11 @@ type Result struct {
 	// Optimal silently falls back to Algorithm1 beyond MaxOptimalLines,
 	// so this is the only record of which argmin the caller really got.
 	Planner string
+	// Provenance is the frozen plan-time decision record (per-line
+	// Equation 1 terms, pin/prune verdicts), attached by core after
+	// planning; nil when no caller asked for it. Planners themselves
+	// leave it nil.
+	Provenance *Provenance
 }
 
 // ByLine indexes the estimates.

@@ -19,6 +19,50 @@ type ComponentStat struct {
 	Utilization float64
 }
 
+// summaryBins is how many fixed-width windows Summary slices the
+// recording into for the occupancy-over-time section.
+const summaryBins = 8
+
+type interval struct{ lo, hi float64 }
+
+// mergeIntervals sorts ivs and coalesces overlaps in place, so a lane
+// running eight parallel jobs counts busy wall-time once.
+func mergeIntervals(ivs []interval) []interval {
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].lo != ivs[j].lo {
+			return ivs[i].lo < ivs[j].lo
+		}
+		return ivs[i].hi < ivs[j].hi
+	})
+	out := ivs[:0]
+	for _, iv := range ivs {
+		if n := len(out); n > 0 && iv.lo <= out[n-1].hi {
+			if iv.hi > out[n-1].hi {
+				out[n-1].hi = iv.hi
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// mergedByComponent collects each component's spans as overlap-merged
+// busy intervals, plus the raw span count per component.
+func (r *Recorder) mergedByComponent() (map[string][]interval, map[string]int) {
+	byComp := make(map[string][]interval)
+	count := make(map[string]int)
+	for i := range r.spans {
+		s := &r.spans[i]
+		byComp[s.Component] = append(byComp[s.Component], interval{s.Start, s.End})
+		count[s.Component]++
+	}
+	for c, ivs := range byComp {
+		byComp[c] = mergeIntervals(ivs)
+	}
+	return byComp, count
+}
+
 // ComponentStats computes per-component occupancy in first-seen
 // component order. Overlapping spans are merged before integrating, so
 // a lane running eight parallel jobs counts busy wall-time once.
@@ -31,41 +75,12 @@ func (r *Recorder) ComponentStats() []ComponentStat {
 	if !ok || elapsed <= 0 {
 		elapsed = 0
 	}
-	type interval struct{ lo, hi float64 }
-	byComp := make(map[string][]interval)
-	count := make(map[string]int)
-	for i := range r.spans {
-		s := &r.spans[i]
-		byComp[s.Component] = append(byComp[s.Component], interval{s.Start, s.End})
-		count[s.Component]++
-	}
+	byComp, count := r.mergedByComponent()
 	var out []ComponentStat
 	for _, c := range r.compOrder {
-		ivs := byComp[c]
-		sort.Slice(ivs, func(i, j int) bool {
-			if ivs[i].lo != ivs[j].lo {
-				return ivs[i].lo < ivs[j].lo
-			}
-			return ivs[i].hi < ivs[j].hi
-		})
-		var busy, curLo, curHi float64
-		open := false
-		for _, iv := range ivs {
-			if !open {
-				curLo, curHi, open = iv.lo, iv.hi, true
-				continue
-			}
-			if iv.lo <= curHi {
-				if iv.hi > curHi {
-					curHi = iv.hi
-				}
-				continue
-			}
-			busy += curHi - curLo
-			curLo, curHi = iv.lo, iv.hi
-		}
-		if open {
-			busy += curHi - curLo
+		var busy float64
+		for _, iv := range byComp[c] {
+			busy += iv.hi - iv.lo
 		}
 		st := ComponentStat{Component: c, Spans: count[c], Busy: busy}
 		if elapsed > 0 {
@@ -77,6 +92,87 @@ func (r *Recorder) ComponentStats() []ComponentStat {
 		out = append(out, st)
 	}
 	return out
+}
+
+// OccupancyWindow is one fixed-width slice of the recording with each
+// component's busy fraction inside it — the time-series twin of
+// ComponentStats, binned the same way the obs.win series are
+// (DESIGN.md §15). Utilization is indexed like Components.
+type OccupancyWindow struct {
+	Start, End  float64
+	Utilization []float64
+}
+
+// OccupancyWindows bins the recording window into bins equal slices of
+// simulated time and reports, per slice, each component's busy fraction
+// (span overlap with the slice, overlap-merged, divided by the slice
+// width). Components follow first-seen order, matching Components().
+// The windowing is computed locally on the recorder's own spans —
+// metrics already imports trace, so trace cannot reuse internal/obs.
+func (r *Recorder) OccupancyWindows(bins int) []OccupancyWindow {
+	if r == nil || bins <= 0 {
+		return nil
+	}
+	min, max, ok := r.Window()
+	if !ok || max <= min {
+		return nil
+	}
+	width := (max - min) / float64(bins)
+	byComp, _ := r.mergedByComponent()
+	out := make([]OccupancyWindow, bins)
+	for w := range out {
+		lo := min + float64(w)*width
+		hi := lo + width
+		if w == bins-1 {
+			hi = max // absorb float round-off into the last bin
+		}
+		util := make([]float64, len(r.compOrder))
+		for ci, c := range r.compOrder {
+			var busy float64
+			for _, iv := range byComp[c] {
+				olo, ohi := iv.lo, iv.hi
+				if olo < lo {
+					olo = lo
+				}
+				if ohi > hi {
+					ohi = hi
+				}
+				if ohi > olo {
+					busy += ohi - olo
+				}
+			}
+			util[ci] = busy / (hi - lo)
+			if util[ci] > 1 {
+				util[ci] = 1
+			}
+		}
+		out[w] = OccupancyWindow{Start: lo, End: hi, Utilization: util}
+	}
+	return out
+}
+
+// OccupancyWindowTable renders OccupancyWindows as a report table: one
+// row per window, one util% column per component.
+func (r *Recorder) OccupancyWindowTable(title string, bins int) *report.Table {
+	headers := []string{"window", "start ms", "end ms"}
+	if r != nil {
+		for _, c := range r.compOrder {
+			headers = append(headers, c+" util %")
+		}
+	}
+	tbl := report.NewTable(title, headers...)
+	for w, ow := range r.OccupancyWindows(bins) {
+		cells := []string{
+			fmt.Sprintf("%d", w),
+			fmt.Sprintf("%.4f", ow.Start*1e3),
+			fmt.Sprintf("%.4f", ow.End*1e3),
+		}
+		for _, u := range ow.Utilization {
+			cells = append(cells, fmt.Sprintf("%.1f", u*100))
+		}
+		tbl.AddRow(cells...)
+	}
+	return tbl
 }
 
 // SpanStat aggregates the latency of one (component, name) span class.
@@ -200,6 +296,11 @@ func (r *Recorder) Summary() string {
 	fmt.Fprintf(&sb, "trace window: %.4f ms (%d spans, %d instants, %d counter series)\n\n",
 		(max-min)*1e3, len(r.Spans()), len(r.Instants()), len(r.Counters()))
 	r.UtilizationTable("Per-component timeline occupancy").Render(&sb)
+
+	if wins := r.OccupancyWindows(summaryBins); len(wins) > 0 {
+		sb.WriteByte('\n')
+		r.OccupancyWindowTable("Occupancy over time", summaryBins).Render(&sb)
+	}
 
 	sb.WriteByte('\n')
 	spans := report.NewTable("Span latency by class", "component", "name", "count", "mean ms", "max ms")

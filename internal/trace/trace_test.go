@@ -155,6 +155,47 @@ func TestWriteChromeDeterministicAndValid(t *testing.T) {
 	}
 }
 
+func TestOccupancyWindows(t *testing.T) {
+	r := New()
+	fill(r)
+	// Window is [0, 3]: cse busy [0,3] (merged), nvme busy [0.5,1.5],
+	// exec has an instant but no spans.
+	wins := r.OccupancyWindows(3)
+	if len(wins) != 3 {
+		t.Fatalf("%d windows, want 3", len(wins))
+	}
+	comps := r.Components()
+	idx := make(map[string]int, len(comps))
+	for i, c := range comps {
+		idx[c] = i
+	}
+	wantCSE := []float64{1, 1, 1}
+	wantNVMe := []float64{0.5, 0.5, 0}
+	for w, ow := range wins {
+		if got := ow.End - ow.Start; got < 0.999 || got > 1.001 {
+			t.Errorf("window %d width %v, want 1", w, got)
+		}
+		if got := ow.Utilization[idx["cse"]]; got != wantCSE[w] {
+			t.Errorf("window %d cse util %v, want %v", w, got, wantCSE[w])
+		}
+		if got := ow.Utilization[idx["nvme"]]; got != wantNVMe[w] {
+			t.Errorf("window %d nvme util %v, want %v", w, got, wantNVMe[w])
+		}
+		if got := ow.Utilization[idx["exec"]]; got != 0 {
+			t.Errorf("window %d exec util %v, want 0 (no spans)", w, got)
+		}
+	}
+	if (*Recorder)(nil).OccupancyWindows(4) != nil {
+		t.Error("nil recorder occupancy windows must be nil")
+	}
+	if New().OccupancyWindows(4) != nil {
+		t.Error("empty recorder occupancy windows must be nil")
+	}
+	if r.OccupancyWindows(0) != nil {
+		t.Error("zero bins must yield nil")
+	}
+}
+
 func TestSummaryRendersAllSections(t *testing.T) {
 	r := New()
 	fill(r)
@@ -162,6 +203,7 @@ func TestSummaryRendersAllSections(t *testing.T) {
 	for _, want := range []string{
 		"trace window",
 		"Per-component timeline occupancy",
+		"Occupancy over time",
 		"Span latency by class",
 		"Counter series",
 		CtrCSEBusyCores,
