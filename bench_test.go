@@ -421,6 +421,34 @@ func BenchmarkOptimal16Lines(b *testing.B) {
 	}
 }
 
+// benchmarkBnB times the branch-and-bound planner on a fixture program
+// past the old 16-line enumeration cliff, where the seed planner would
+// have silently degraded to Algorithm 1. The search must stay exact
+// (no node-budget fallback) on every iteration.
+func benchmarkBnB(b *testing.B, lines int) {
+	m := plan.MachineFromPlatform(platform.Default())
+	estimates := experiments.PlannerFixture(lines)
+	cons := plan.Constraints{HostOnly: map[int]string{}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var stats plan.BnBStats
+		res := plan.BnBBudget(estimates, cons, m, plan.DefaultBnBNodeBudget, &stats)
+		if res.Planner != plan.PlannerBnB || stats.Fallback {
+			b.Fatalf("planner %q fallback=%t", res.Planner, stats.Fallback)
+		}
+	}
+}
+
+// BenchmarkBnB24Lines: 1.5× the old cliff — two dependence chains, each
+// solved exactly by its own bounded search.
+func BenchmarkBnB24Lines(b *testing.B) { benchmarkBnB(b, 24) }
+
+// BenchmarkBnB32Lines: double the old cliff (2^32 candidate placements
+// under brute force; the bound and never-win cuts reduce the search to a
+// few hundred nodes).
+func BenchmarkBnB32Lines(b *testing.B) { benchmarkBnB(b, 32) }
+
 // BenchmarkSimKernelScheduleFire measures the event kernel's hot loop:
 // schedule a batch, drain it, repeat. With the typed heap and the event
 // free list the steady state should run allocation-free — allocs/op is

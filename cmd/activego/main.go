@@ -94,6 +94,7 @@ func main() {
 	rt.SampleScales = profile.ScaledScales
 	rt.Metrics = obs.Registry()
 	rt.Pool = obs.Pool()
+	rt.Planner = obs.Planner
 	rt.PreloadInputs(inst.Registry)
 
 	cfg := core.DefaultConfig()
@@ -264,8 +265,10 @@ func runExplain(args []string) int {
 	asJSON := fs.Bool("json", false, "emit the explain record as indented JSON")
 	runIt := fs.Bool("run", false, "also execute the workload under windowed observation and cross-link drift columns")
 	window := fs.Float64("obswindow", 0, "observation window for -run in simulated seconds (0 = 1/16 of the projected runtime)")
+	planner := fs.String("planner", "", "planning algorithm: auto, optimal, bnb, algorithm1, algorithm1-literal (DESIGN.md §16); empty = auto")
+	cacheStats := fs.Bool("cachestats", false, "route the analysis through a plan cache and append its hit/miss footer")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: activego explain -workload NAME [-scalediv N] [-seed S] [-json] [-run [-obswindow W]]")
+		fmt.Fprintln(os.Stderr, "usage: activego explain -workload NAME [-scalediv N] [-seed S] [-json] [-planner P] [-cachestats] [-run [-obswindow W]]")
 		fs.PrintDefaults()
 	}
 	_ = fs.Parse(args)
@@ -274,12 +277,14 @@ func runExplain(args []string) int {
 		return 2
 	}
 	err := cliutil.Explain(os.Stdout, cliutil.ExplainOptions{
-		Workload: *workload,
-		ScaleDiv: *scaleDiv,
-		Seed:     *seed,
-		JSON:     *asJSON,
-		Run:      *runIt,
-		Window:   *window,
+		Workload:   *workload,
+		ScaleDiv:   *scaleDiv,
+		Seed:       *seed,
+		JSON:       *asJSON,
+		Run:        *runIt,
+		Window:     *window,
+		Planner:    *planner,
+		CacheStats: *cacheStats,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "activego explain:", err)

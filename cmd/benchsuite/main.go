@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchsuite [-exp all|table1|fig2|fig4|fig5|accuracy|runtimeopt|robustness|resilience|utilization|serving|drift]
+//	benchsuite [-exp all|table1|fig2|fig4|fig5|accuracy|runtimeopt|robustness|resilience|utilization|serving|drift|planner]
 //	           [-scalediv N] [-seed S] [-outdir DIR] [-metrics out.json]
 //	           [-tenants N] [-arrival poisson|bursty|uniform|closed] [-qps Q] [-duration D]
 //	           [-httpmon addr] [-pprof cpu.pb] [-memprofile mem.pb]
@@ -41,7 +41,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, fig2, fig4, fig5, accuracy, runtimeopt, robustness, resilience, utilization, serving, drift")
+	exp := flag.String("exp", "all", "experiment: all, table1, fig2, fig4, fig5, accuracy, runtimeopt, robustness, resilience, utilization, serving, drift, planner")
 	chaosN := flag.Int("chaos", 0, "run N extra randomized chaos fault schedules after the resilience experiment (0 = just the built-in sub-run)")
 	chaosSeed := flag.Uint64("chaos-seed", experiments.ResilienceSeed, "seed for the -chaos schedule sweep")
 	scaleDiv := flag.Int64("scalediv", 512, "divide Table I input sizes by this factor")
@@ -162,6 +162,16 @@ func main() {
 			metrics.ObserveRecording(sub, res.Rec)
 			return res.Bench(params), nil
 		},
+		"planner": func(mopts []experiments.Option, _ *metrics.Registry, out io.Writer) (*bench.Manifest, error) {
+			res, tbl, err := experiments.Planner(params, mopts...)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprint(out, tbl.String())
+			fmt.Fprintf(out, "cache: %d/%d builds served warm (%.1f%% hit rate, identical=%t)\n",
+				res.Cache.Hits, res.Cache.Builds, 100*res.Cache.HitRate, res.Cache.HitIdentical)
+			return res.Bench(params), nil
+		},
 		"drift": func(mopts []experiments.Option, _ *metrics.Registry, out io.Writer) (*bench.Manifest, error) {
 			res, tbl, err := experiments.Drift(params, mopts...)
 			if err != nil {
@@ -203,7 +213,7 @@ func main() {
 			return u.Bench(params), nil
 		},
 	}
-	order := []string{"table1", "fig2", "fig4", "fig5", "accuracy", "runtimeopt", "robustness", "resilience", "utilization", "serving", "drift"}
+	order := []string{"table1", "fig2", "fig4", "fig5", "accuracy", "runtimeopt", "robustness", "resilience", "utilization", "serving", "drift", "planner"}
 
 	names := order
 	if *exp != "all" {

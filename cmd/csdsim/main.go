@@ -63,6 +63,7 @@ func main() {
 		err := cliutil.Explain(os.Stdout, cliutil.ExplainOptions{
 			Workload: *workload, ScaleDiv: *scaleDiv, Seed: *seed,
 			JSON: *lintJSON, Run: obs.ObsWindow > 0, Window: obs.ObsWindow,
+			Planner: obs.Planner,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "csdsim -explain:", err)

@@ -1,0 +1,114 @@
+// Dependence-DAG structure helpers for the branch-and-bound planner
+// (DESIGN.md §16). The planner's search factorizes over variable-sharing
+// components — residency crossings only couple lines that touch a
+// common variable — and its worst-case tree size is the sum of
+// 2^(k+1)−2 over the components' candidate counts. This file computes
+// the static mirror of that decomposition from the def/use sets, so the
+// AV008 advisory can warn exactly when a program's dependence structure
+// could exhaust the search budget (lint.go), without importing the
+// planner (the layering is one-way; a test pins the constants equal).
+package analysis
+
+import "math"
+
+// OffloadComponents groups the planner's offload candidates —
+// work-bearing assignment/expression lines not pinned to the host —
+// into variable-sharing components: two candidates land together when a
+// chain of lines sharing defined or used variables links them (possibly
+// through pinned lines, which still rehome the variables they touch).
+// The static def/use sets over-approximate the dynamic var flows the
+// planner sees, so these components are never finer than the planner's.
+// Components are ordered by first member line; members ascend.
+func (r *Report) OffloadComponents() [][]int {
+	n := len(r.Lines)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if rb < ra {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	owner := map[string]int{}
+	touch := func(i int, name string) {
+		if j, ok := owner[name]; ok {
+			union(i, j)
+		} else {
+			owner[name] = i
+		}
+	}
+	for i, f := range r.Lines {
+		for _, v := range f.Uses {
+			touch(i, v)
+		}
+		for _, v := range f.Defs {
+			touch(i, v)
+		}
+	}
+
+	pinned := r.HostPinned()
+	candidate := func(f *LineFact) bool {
+		if f.Kind != KindAssign && f.Kind != KindExpr {
+			return false
+		}
+		_, p := pinned[f.Line]
+		return !p
+	}
+	order := []int{}
+	members := map[int][]int{}
+	for i, f := range r.Lines {
+		if !candidate(f) {
+			continue
+		}
+		root := find(i)
+		if _, seen := members[root]; !seen {
+			order = append(order, root)
+		}
+		members[root] = append(members[root], f.Line)
+	}
+	out := make([][]int, 0, len(order))
+	for _, root := range order {
+		out = append(out, members[root])
+	}
+	return out
+}
+
+// componentWorstNodes is the branch-and-bound worst-case tree size for
+// one component of k candidate lines: a full binary decision tree has
+// 2^(k+1)−2 side-assignment nodes. Saturates instead of overflowing.
+func componentWorstNodes(k int) int {
+	if k >= 61 {
+		return math.MaxInt
+	}
+	return (1 << (k + 1)) - 2
+}
+
+// bnbWorstCase sums the components' worst-case node counts (saturating)
+// and reports the largest component's candidate count alongside.
+func (r *Report) bnbWorstCase() (worst, biggest int) {
+	for _, comp := range r.OffloadComponents() {
+		if len(comp) > biggest {
+			biggest = len(comp)
+		}
+		w := componentWorstNodes(len(comp))
+		if worst > math.MaxInt-w {
+			worst = math.MaxInt
+		} else {
+			worst += w
+		}
+	}
+	return worst, biggest
+}

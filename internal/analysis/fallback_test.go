@@ -5,11 +5,13 @@ import (
 	"strings"
 	"testing"
 
+	"activego/internal/lang/parser"
 	"activego/internal/plan"
 )
 
 // wideProgram builds a program with n offloadable assignment lines (plus
-// the load feeding them).
+// the load feeding them), all coupled through the one loaded variable —
+// a single dependence component of n+1 candidates.
 func wideProgram(n int) string {
 	var sb strings.Builder
 	sb.WriteString(`v = load("x")` + "\n")
@@ -19,44 +21,110 @@ func wideProgram(n int) string {
 	return sb.String()
 }
 
-// TestOptimalFallbackThresholdMatchesPlanner pins the linter's duplicated
-// constant to the planner's real limit: AV008 must warn exactly when the
-// planner would degrade. The linter cannot import plan (one-way
-// layering), so this test is the only thing holding the two together.
-func TestOptimalFallbackThresholdMatchesPlanner(t *testing.T) {
-	if optimalFallbackThreshold != plan.MaxOptimalLines {
-		t.Fatalf("optimalFallbackThreshold = %d, plan.MaxOptimalLines = %d: AV008 would warn about the wrong planner behavior",
-			optimalFallbackThreshold, plan.MaxOptimalLines)
+// independentProgram builds n disjoint load→reduce pairs: 2n offloadable
+// candidates spread over n two-line dependence components.
+func independentProgram(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "v%d = load(\"x%d\")\n", i, i)
+		fmt.Fprintf(&sb, "s%d = vsum(v%d)\n", i, i)
+	}
+	return sb.String()
+}
+
+// TestBnBConstantsMatchPlanner pins the linter's duplicated constants to
+// the planner's real budget and guarantee: AV008 must warn exactly when
+// branch-and-bound could genuinely fall back. The linter cannot import
+// plan (one-way layering), so this test is the only thing holding the
+// pairs together.
+func TestBnBConstantsMatchPlanner(t *testing.T) {
+	if bnbNodeBudget != plan.DefaultBnBNodeBudget {
+		t.Fatalf("bnbNodeBudget = %d, plan.DefaultBnBNodeBudget = %d: AV008 would warn about the wrong budget",
+			bnbNodeBudget, plan.DefaultBnBNodeBudget)
+	}
+	if bnbExactLines != plan.BnBExactLines {
+		t.Fatalf("bnbExactLines = %d, plan.BnBExactLines = %d: AV008's firing edge would drift from the exactness guarantee",
+			bnbExactLines, plan.BnBExactLines)
 	}
 }
 
-// TestOptimalFallbackLint checks AV008's firing edge: the load line is
-// itself offloadable (EffectReadsStorage), so wideProgram(n) has n+1
-// candidates — silent at the enumeration limit, warning one past it.
-func TestOptimalFallbackLint(t *testing.T) {
-	hasAV008 := func(src string) (bool, string) {
-		diags, err := LintSource(src)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, d := range diags {
-			if d.Code == CodeOptimalFallback {
-				if d.Severity != SevWarning {
-					t.Errorf("AV008 severity = %v, want warning", d.Severity)
-				}
-				return true, d.Msg
+func hasAV008(t *testing.T, src string) (bool, string) {
+	t.Helper()
+	diags, err := LintSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if d.Code == CodeOptimalFallback {
+			if d.Severity != SevWarning {
+				t.Errorf("AV008 severity = %v, want warning", d.Severity)
 			}
+			return true, d.Msg
 		}
-		return false, ""
 	}
-	if fired, msg := hasAV008(wideProgram(optimalFallbackThreshold - 1)); fired {
-		t.Errorf("AV008 fired at the enumeration limit: %s", msg)
+	return false, ""
+}
+
+// TestOptimalFallbackLint checks AV008's demoted firing edge: the load
+// line is itself offloadable (EffectReadsStorage), so wideProgram(n) is
+// one component of n+1 candidates. At bnbExactLines candidates the
+// worst-case search still fits the budget and the advisory stays
+// silent — even though this is far past Optimal's old 16-line
+// enumeration limit, branch-and-bound plans it exactly. One candidate
+// further the guarantee breaks and the advisory fires.
+func TestOptimalFallbackLint(t *testing.T) {
+	if fired, msg := hasAV008(t, wideProgram(bnbExactLines-1)); fired {
+		t.Errorf("AV008 fired inside the exactness guarantee: %s", msg)
 	}
-	fired, msg := hasAV008(wideProgram(optimalFallbackThreshold))
+	fired, msg := hasAV008(t, wideProgram(bnbExactLines))
 	if !fired {
-		t.Fatalf("AV008 silent with %d offloadable lines", optimalFallbackThreshold+1)
+		t.Fatalf("AV008 silent with a %d-candidate component", bnbExactLines+1)
 	}
 	if !strings.Contains(msg, "plan.optimal.fallback") {
 		t.Errorf("AV008 message does not name the runtime counter: %q", msg)
+	}
+	if !strings.Contains(msg, "may fall back") {
+		t.Errorf("AV008 message still claims an unconditional fallback: %q", msg)
+	}
+}
+
+// TestOptimalFallbackComponentAware pins the demotion's point: many
+// offloadable lines in *small* components never warn, because the
+// planner searches each component independently. 30 disjoint pairs is
+// 60 candidates — nearly four times the old 16-line cliff — and still
+// exactly plannable.
+func TestOptimalFallbackComponentAware(t *testing.T) {
+	if fired, msg := hasAV008(t, independentProgram(30)); fired {
+		t.Errorf("AV008 fired on 30 independent two-line components: %s", msg)
+	}
+}
+
+// TestOffloadComponents pins the decomposition itself on both shapes.
+func TestOffloadComponents(t *testing.T) {
+	analyzeSrc := func(src string) *Report {
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Analyze(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	wide := analyzeSrc(wideProgram(5))
+	comps := wide.OffloadComponents()
+	if len(comps) != 1 || len(comps[0]) != 6 {
+		t.Fatalf("wideProgram(5) components = %v, want one of 6", comps)
+	}
+	ind := analyzeSrc(independentProgram(4))
+	comps = ind.OffloadComponents()
+	if len(comps) != 4 {
+		t.Fatalf("independentProgram(4) components = %v, want 4", comps)
+	}
+	for _, c := range comps {
+		if len(c) != 2 {
+			t.Fatalf("component %v, want 2 members", c)
+		}
 	}
 }

@@ -162,11 +162,16 @@ func (r *Report) Lint() []Diagnostic {
 		}
 	}
 
-	// AV008 — more offload candidates than the exact planner enumerates.
-	if n := r.offloadCandidates(); n > optimalFallbackThreshold {
+	// AV008 — the offload candidates' dependence structure could exhaust
+	// the branch-and-bound planner's node budget. The planner searches
+	// each variable-sharing component independently (DESIGN.md §16), so
+	// many small components plan exactly no matter how many lines the
+	// program has; only a single component wider than the budget's
+	// guarantee can force the greedy Algorithm 1 fallback.
+	if worst, biggest := r.bnbWorstCase(); worst > bnbNodeBudget {
 		diags = append(diags, Diagnostic{
 			Line: 0, Code: CodeOptimalFallback, Severity: SevWarning,
-			Msg: fmt.Sprintf("%d offloadable lines exceed the exact planner's %d-line enumeration limit; planning will silently fall back to the greedy Algorithm 1 (the plan.optimal.fallback counter records it at run time)", n, optimalFallbackThreshold),
+			Msg: fmt.Sprintf("%d offloadable lines share one dependence component: the exact planner's worst-case search (%d nodes) exceeds its %d-node budget, so planning may fall back to the greedy Algorithm 1 (the plan.optimal.fallback counter records a genuine fallback at run time)", biggest, worst, bnbNodeBudget),
 		})
 	}
 
@@ -174,30 +179,16 @@ func (r *Report) Lint() []Diagnostic {
 	return diags
 }
 
-// optimalFallbackThreshold mirrors plan.MaxOptimalLines. The linter must
-// not import the planner (the layering is one-way: core adapts analysis
-// facts into plan.Constraints), so the constant is duplicated here and a
-// test pins the two equal.
-const optimalFallbackThreshold = 16
-
-// offloadCandidates counts the lines the planner would enumerate over:
-// work-bearing statements (assignments and expression calls) that the
-// effect analysis does not pin to the host. Control headers and pass
-// lines carry no estimates, so they never enter the enumeration.
-func (r *Report) offloadCandidates() int {
-	pinned := r.HostPinned()
-	n := 0
-	for _, f := range r.Lines {
-		if f.Kind != KindAssign && f.Kind != KindExpr {
-			continue
-		}
-		if _, p := pinned[f.Line]; p {
-			continue
-		}
-		n++
-	}
-	return n
-}
+// bnbNodeBudget mirrors plan.DefaultBnBNodeBudget and bnbExactLines
+// mirrors plan.BnBExactLines (the largest single component guaranteed
+// exact under that budget: 2^(bnbExactLines+1)−2 ≤ bnbNodeBudget). The
+// linter must not import the planner (the layering is one-way: core
+// adapts analysis facts into plan.Constraints), so the constants are
+// duplicated here and a test pins each pair equal.
+const (
+	bnbNodeBudget = 1 << 22
+	bnbExactLines = 21
+)
 
 // loopInvariant reports whether f is an assignment inside a `for` whose
 // inputs are all defined outside the innermost loop — i.e. the line

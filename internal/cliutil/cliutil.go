@@ -20,6 +20,7 @@ import (
 
 	"activego/internal/metrics"
 	"activego/internal/par"
+	"activego/internal/plan"
 	"activego/internal/trace"
 )
 
@@ -33,6 +34,7 @@ type Flags struct {
 	HTTPMon      string // -httpmon: live monitoring listen address (RegisterMonitor)
 	Jobs         int    // -j: worker count for deterministic fan-outs
 	ObsWindow    float64 // -obswindow: sim-time observation window (DESIGN.md §15); 0 = off
+	Planner      string  // -planner: planning algorithm (DESIGN.md §16); "" = auto
 
 	rec     *trace.Recorder
 	reg     *metrics.Registry
@@ -50,6 +52,7 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.Metrics, "metrics", "", "write the metrics registry snapshot as JSON to this file (- for stdout)")
 	fs.IntVar(&f.Jobs, "j", 1, "workers for deterministic fan-outs (sampling scales, Optimal shards, experiment sweeps); 1 = serial, 0 = GOMAXPROCS; output is bit-identical at any value")
 	fs.Float64Var(&f.ObsWindow, "obswindow", 0, "bin observed costs into simulated-time windows of this many seconds and fold them into the metrics snapshot as obs.win.* series (DESIGN.md §15); 0 = off")
+	fs.StringVar(&f.Planner, "planner", "", "planning algorithm: auto (exact enumeration, then branch-and-bound past "+fmt.Sprint(plan.MaxOptimalLines)+" free lines), optimal, bnb, algorithm1, algorithm1-literal (DESIGN.md §16); empty = auto")
 	return f
 }
 

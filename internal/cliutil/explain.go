@@ -6,6 +6,7 @@ import (
 
 	"activego/internal/core"
 	"activego/internal/obs"
+	"activego/internal/plan"
 	"activego/internal/platform"
 	"activego/internal/profile"
 	"activego/internal/workloads"
@@ -23,6 +24,12 @@ type ExplainOptions struct {
 	// runtime).
 	Run    bool
 	Window float64
+	// Planner forces the planning algorithm (core.PlannerChoices; ""
+	// = auto). CacheStats additionally routes the analysis through a
+	// plan cache and appends a plan-cache footer — off by default so
+	// the golden default rendering stays byte-identical.
+	Planner    string
+	CacheStats bool
 }
 
 // Explain renders a workload's plan provenance — the per-line Equation 1
@@ -39,6 +46,13 @@ func Explain(out io.Writer, o ExplainOptions) error {
 	inst := spec.Build(params)
 	rt := core.New(platform.Default())
 	rt.SampleScales = profile.ScaledScales
+	rt.Planner = o.Planner
+	var cache *plan.Cache
+	if o.CacheStats {
+		cache = plan.NewCache()
+		rt.PlanCache = cache
+		rt.PlanCacheSalt = fmt.Sprintf("%s|%d|%d", o.Workload, o.ScaleDiv, o.Seed)
+	}
 	rt.PreloadInputs(inst.Registry)
 
 	_, _, planRes, err := rt.Analyze(inst.Source, inst.Registry)
@@ -64,6 +78,15 @@ func Explain(out io.Writer, o ExplainOptions) error {
 	if o.JSON {
 		return ex.WriteJSON(out)
 	}
-	_, err = fmt.Fprint(out, ex.Table().String())
-	return err
+	if _, err := fmt.Fprint(out, ex.Table().String()); err != nil {
+		return err
+	}
+	if cache != nil {
+		s := cache.Stats()
+		if _, err := fmt.Fprintf(out, "\nplan cache: %d hits, %d misses, %d invalidations (%.0f%% hit rate)\n",
+			s.Hits, s.Misses, s.Invalidations, 100*s.HitRate()); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -21,6 +21,7 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"activego/internal/analysis"
 	"activego/internal/codegen"
@@ -98,6 +99,9 @@ type Outcome struct {
 	Drift *obs.DriftReport
 }
 
+// PlannerChoices is the -planner flag's vocabulary (DESIGN.md §16).
+const PlannerChoices = "auto | optimal | bnb | algorithm1 | algorithm1-literal"
+
 // Runtime is an ActivePy instance bound to one platform.
 type Runtime struct {
 	Plat    *platform.Platform
@@ -117,6 +121,25 @@ type Runtime struct {
 	// either way the pipeline's output is bit-identical — par's helpers
 	// merge by input position and break ties toward the serial winner.
 	Pool *par.Pool
+	// Planner selects the planning algorithm (one of PlannerChoices; ""
+	// means auto). Auto runs the exact ladder of DESIGN.md §16: Optimal's
+	// enumeration up to plan.MaxOptimalLines free lines, branch-and-bound
+	// beyond, Algorithm 1 only on a node-budget blowout.
+	Planner string
+	// PlanBudget overrides the branch-and-bound node budget
+	// (0 = plan.DefaultBnBNodeBudget).
+	PlanBudget int
+	// PlanCache, when set, memoizes the sampling + planning half of the
+	// pipeline under a digest of (program, input shape, machine, sampling
+	// scales, planner choice, PlanCacheSalt). A hit is bit-identical to a
+	// cold plan (plan.Cache deep-copies both ways); Run invalidates the
+	// entry when AV012 drift scoring flags the cached model stale.
+	PlanCache *plan.Cache
+	// PlanCacheSalt folds caller context that the runtime cannot see —
+	// e.g. the workload seed behind the registry's contents — into the
+	// cache key. Callers whose registries differ in content but not in
+	// shape must salt the key apart.
+	PlanCacheSalt string
 }
 
 // New builds a runtime on p, measuring the platform's slowdown constant C
@@ -137,50 +160,157 @@ func (rt *Runtime) PreloadInputs(reg *inputs.Registry) {
 // Analyze runs steps 1–3: parse, sample, and plan, without executing at
 // full scale. Examples and the accuracy experiment use it directly.
 func (rt *Runtime) Analyze(src string, reg *inputs.Registry) (*ast.Program, *profile.Report, *plan.Result, error) {
-	prog, _, report, planRes, _, err := rt.analyzeAll(src, reg)
-	return prog, report, planRes, err
+	a, err := rt.analyzeAll(src, reg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return a.prog, a.report, a.plan, nil
+}
+
+// analyzed bundles everything the front half of the pipeline produced.
+type analyzed struct {
+	prog       *ast.Program
+	static     *analysis.Report
+	report     *profile.Report
+	plan       *plan.Result
+	advisories []analysis.Diagnostic
+	cacheKey   string // plan-cache key; "" when no cache is attached
+}
+
+// cachedAnalysis is the opaque aux payload a plan-cache entry carries
+// alongside the deep-copied plan: the sampling report and the dynamic
+// advisories the cold run produced. The report pointer is shared across
+// hits (callers treat it read-only); the advisory slice is copied on
+// every hit so a caller appending drift findings cannot corrupt it.
+type cachedAnalysis struct {
+	report     *profile.Report
+	advisories []analysis.Diagnostic
 }
 
 // analyzeAll is Analyze plus the static-analysis report: parse, analyze,
-// sample, and plan with illegal lines masked from the planner.
-func (rt *Runtime) analyzeAll(src string, reg *inputs.Registry) (*ast.Program, *analysis.Report, *profile.Report, *plan.Result, []analysis.Diagnostic, error) {
+// sample, and plan with illegal lines masked from the planner. With a
+// PlanCache attached, the sampling + planning half is memoized under
+// planCacheKey — a hit skips both phases and returns a bit-identical
+// plan (DESIGN.md §16).
+func (rt *Runtime) analyzeAll(src string, reg *inputs.Registry) (*analyzed, error) {
 	stop := rt.Metrics.Phase(metrics.PhaseParse)
 	prog, err := parser.Parse(src)
 	stop()
 	if err != nil {
-		return nil, nil, nil, nil, nil, fmt.Errorf("core: parse: %w", err)
+		return nil, fmt.Errorf("core: parse: %w", err)
 	}
 	stop = rt.Metrics.Phase(metrics.PhaseAnalyze)
 	static, err := analysis.Analyze(prog)
 	stop()
 	if err != nil {
-		return nil, nil, nil, nil, nil, fmt.Errorf("core: static analysis: %w", err)
+		return nil, fmt.Errorf("core: static analysis: %w", err)
 	}
 	scales := rt.SampleScales
 	if scales == nil {
 		scales = profile.Scales
 	}
+	a := &analyzed{prog: prog, static: static}
+	if rt.PlanCache != nil {
+		a.cacheKey = rt.planCacheKey(src, reg, scales)
+		if res, aux, ok := rt.PlanCache.Get(a.cacheKey); ok {
+			ca := aux.(cachedAnalysis)
+			a.plan = res
+			a.report = ca.report
+			a.advisories = append([]analysis.Diagnostic(nil), ca.advisories...)
+			rt.Metrics.Counter(metrics.MetricPlanCacheHit).Add(1)
+			return a, nil
+		}
+		rt.Metrics.Counter(metrics.MetricPlanCacheMiss).Add(1)
+	}
 	report, err := profile.RunScalesPool(prog, reg, scales, rt.Metrics, rt.Pool)
 	if err != nil {
-		return nil, nil, nil, nil, nil, fmt.Errorf("core: sampling phase: %w", err)
+		return nil, fmt.Errorf("core: sampling phase: %w", err)
 	}
 	stop = rt.Metrics.Phase(metrics.PhasePlan)
 	estimates := plan.BuildEstimates(report.Predictions(), rt.Machine, codegen.Native)
 	cons := plan.Constraints{HostOnly: static.HostPinned()}
 	advisories, pruned := adviseEstimates(static, report, estimates, rt.Machine, cons.HostOnly)
-	planRes := plan.OptimalPool(estimates, cons, rt.Machine, rt.Pool)
+	planRes, stats, err := rt.runPlanner(estimates, cons)
+	if err != nil {
+		stop()
+		return nil, err
+	}
 	planRes.Provenance = plan.BuildProvenance(planRes, cons, pruned, rt.Machine)
 	stop()
-	if planRes.Planner != plan.PlannerOptimal {
-		// The exact planner degraded to the greedy walk (more than
-		// plan.MaxOptimalLines offloadable lines); surface it — analysis
-		// raises the matching AV008 vet note statically.
+	if planRes.Planner == plan.PlannerAlgorithm1 && !greedyRequested(rt.Planner) {
+		// A genuine fallback: an exact planner was asked for but the
+		// search degraded to the greedy walk — under auto that means
+		// branch-and-bound blew its node budget (the static AV008 vet
+		// note warns when a program's dependence structure makes this
+		// possible); under -planner=optimal it means more than
+		// plan.MaxOptimalLines free lines.
 		rt.Metrics.Counter(metrics.MetricPlanOptimalFallback).Add(1)
+	}
+	if stats.Nodes > 0 {
+		rt.Metrics.Counter(metrics.MetricPlanBnBNodes).Add(float64(stats.Nodes))
+		rt.Metrics.Counter(metrics.MetricPlanBnBCuts).Add(float64(stats.BoundCuts + stats.NeverWinCuts))
+		rt.Metrics.Gauge(metrics.MetricPlanBnBBudget).Set(float64(stats.Budget))
 	}
 	if n := prunedCount(advisories); n > 0 {
 		rt.Metrics.Counter(metrics.MetricPlanPrunedLines).Add(float64(n))
 	}
-	return prog, static, report, planRes, advisories, nil
+	a.report, a.plan, a.advisories = report, planRes, advisories
+	if rt.PlanCache != nil {
+		rt.PlanCache.Put(a.cacheKey, planRes, cachedAnalysis{
+			report:     report,
+			advisories: append([]analysis.Diagnostic(nil), advisories...),
+		})
+	}
+	return a, nil
+}
+
+// runPlanner dispatches to the configured planning algorithm. The
+// returned stats are zero-valued unless the branch-and-bound search ran.
+func (rt *Runtime) runPlanner(estimates []plan.LineEstimate, cons plan.Constraints) (*plan.Result, plan.BnBStats, error) {
+	var stats plan.BnBStats
+	budget := rt.PlanBudget
+	if budget <= 0 {
+		budget = plan.DefaultBnBNodeBudget
+	}
+	switch rt.Planner {
+	case "", plan.PlannerAuto:
+		return plan.AutoPool(estimates, cons, rt.Machine, rt.Pool, budget, &stats), stats, nil
+	case plan.PlannerOptimal:
+		return plan.OptimalPool(estimates, cons, rt.Machine, rt.Pool), stats, nil
+	case plan.PlannerBnB:
+		return plan.BnBBudget(estimates, cons, rt.Machine, budget, &stats), stats, nil
+	case plan.PlannerAlgorithm1:
+		return plan.Algorithm1(estimates, cons, rt.Machine), stats, nil
+	case plan.PlannerAlgorithm1Literal:
+		return plan.Algorithm1Literal(estimates, cons, rt.Machine), stats, nil
+	default:
+		return nil, stats, fmt.Errorf("core: unknown planner %q (choices: %s)", rt.Planner, PlannerChoices)
+	}
+}
+
+// greedyRequested reports whether the caller explicitly asked for the
+// greedy walk — in which case an Algorithm 1 plan is the requested
+// behavior, not a fallback.
+func greedyRequested(planner string) bool {
+	return planner == plan.PlannerAlgorithm1 || planner == plan.PlannerAlgorithm1Literal
+}
+
+// planCacheKey digests everything the cached half of the pipeline
+// depends on: the source text, the planner choice and budget, the
+// machine model, the sampling scales, and the input registry's shape
+// (names, sizes, sampling modes — in insertion order). Registry shape
+// does not capture data content, so callers whose inputs differ beyond
+// shape must disambiguate through PlanCacheSalt (the serving driver
+// salts with workload name, scale divisor, and seed).
+func (rt *Runtime) planCacheKey(src string, reg *inputs.Registry, scales []float64) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%d\x00%+v\x00%v\x00",
+		src, rt.PlanCacheSalt, rt.Planner, rt.PlanBudget, rt.Machine, scales)
+	for _, name := range reg.Names() {
+		e, _ := reg.Get(name)
+		fmt.Fprintf(h, "%s=%d/%v;", name, e.Value.SizeBytes(), e.Mode)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // adviseEstimates runs the dynamic-input analysis passes over the
@@ -228,27 +358,35 @@ func prunedCount(advisories []analysis.Diagnostic) int {
 // never-win offloads). `activego vet -workloads` uses it so workload
 // linting sees everything the real pipeline would.
 func (rt *Runtime) Vet(src string, reg *inputs.Registry) ([]analysis.Diagnostic, error) {
-	_, static, _, _, advisories, err := rt.analyzeAll(src, reg)
+	a, err := rt.analyzeAll(src, reg)
 	if err != nil {
 		return nil, err
 	}
-	diags := static.Lint()
-	diags = append(diags, advisories...)
+	diags := a.static.Lint()
+	diags = append(diags, a.advisories...)
 	analysis.Sort(diags)
 	return diags, nil
 }
 
 // Run executes src over reg with the full ActivePy pipeline.
 func (rt *Runtime) Run(src string, reg *inputs.Registry, cfg Config) (*Outcome, error) {
-	prog, static, report, planRes, advisories, err := rt.analyzeAll(src, reg)
+	a, err := rt.analyzeAll(src, reg)
 	if err != nil {
 		return nil, err
 	}
-	out, err := rt.execute(prog, static, report, planRes, reg, cfg)
+	out, err := rt.execute(a.prog, a.static, a.report, a.plan, reg, cfg)
 	if err != nil {
 		return nil, err
 	}
-	out.Advisories = append(advisories, out.Drift.Advisories()...)
+	out.Advisories = append(a.advisories, out.Drift.Advisories()...)
+	if rt.PlanCache != nil && a.cacheKey != "" && out.Drift != nil && len(out.Drift.StaleLines()) > 0 {
+		// AV012 says the fitted model behind this plan no longer matches
+		// observed behavior — drop the memoized entry so the next build
+		// re-samples and re-plans instead of serving the stale model.
+		if rt.PlanCache.Invalidate(a.cacheKey) {
+			rt.Metrics.Counter(metrics.MetricPlanCacheInvalidations).Add(1)
+		}
+	}
 	return out, nil
 }
 

@@ -9,31 +9,62 @@ import (
 	"activego/internal/plan"
 )
 
-// TestOptimalFallbackCounter pins the runtime record of the planner's
-// silent degradation: a program with more than plan.MaxOptimalLines
-// offloadable lines must bump plan.optimal.fallback exactly once per
-// pipeline run and report PlannerAlgorithm1, while a small program
-// leaves the counter at zero.
-func TestOptimalFallbackCounter(t *testing.T) {
+// wideScan builds a program of n coupled reduction lines over one loaded
+// vector — a single variable-sharing component of n+1 offload candidates.
+func wideScan(n int) string {
 	var sb strings.Builder
 	sb.WriteString(`v = load("sensors")` + "\n")
-	for i := 0; i <= plan.MaxOptimalLines; i++ {
+	for i := 0; i < n; i++ {
 		fmt.Fprintf(&sb, "s%d = vsum(v)\n", i)
 	}
+	return sb.String()
+}
+
+// TestOptimalFallbackCounter pins the demoted fallback record: past
+// plan.MaxOptimalLines the auto ladder hands the program to
+// branch-and-bound — still exact, so plan.optimal.fallback stays zero
+// and the plan.bnb.* statistics appear. Only a genuine node-budget
+// blowout (forced here with PlanBudget=1) degrades to Algorithm 1 and
+// bumps the counter.
+func TestOptimalFallbackCounter(t *testing.T) {
+	src := wideScan(plan.MaxOptimalLines + 1)
 
 	reg := scanRegistry(1 << 14)
 	rt := newRuntime()
 	rt.Metrics = metrics.New()
 	rt.PreloadInputs(reg)
-	_, _, planRes, err := rt.Analyze(sb.String(), reg)
+	_, _, planRes, err := rt.Analyze(src, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planRes.Planner != plan.PlannerBnB {
+		t.Errorf("planner = %q, want %q (exact past the enumeration limit)", planRes.Planner, plan.PlannerBnB)
+	}
+	if got := rt.Metrics.Counter(metrics.MetricPlanOptimalFallback).Value(); got != 0 {
+		t.Errorf("%s = %g on an exactly-planned branch-and-bound run, want 0", metrics.MetricPlanOptimalFallback, got)
+	}
+	if got := rt.Metrics.Counter(metrics.MetricPlanBnBNodes).Value(); got <= 0 {
+		t.Errorf("%s = %g after a branch-and-bound run, want > 0", metrics.MetricPlanBnBNodes, got)
+	}
+	if got := rt.Metrics.Gauge(metrics.MetricPlanBnBBudget).Value(); got != plan.DefaultBnBNodeBudget {
+		t.Errorf("%s = %g, want %d", metrics.MetricPlanBnBBudget, got, plan.DefaultBnBNodeBudget)
+	}
+
+	// A one-node budget cannot finish any search: genuine fallback.
+	starved := newRuntime()
+	starved.Metrics = metrics.New()
+	starvedReg := scanRegistry(1 << 14)
+	starved.PreloadInputs(starvedReg)
+	starved.PlanBudget = 1
+	_, _, planRes, err = starved.Analyze(src, starvedReg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if planRes.Planner != plan.PlannerAlgorithm1 {
-		t.Errorf("planner = %q, want %q (fallback)", planRes.Planner, plan.PlannerAlgorithm1)
+		t.Errorf("starved planner = %q, want %q", planRes.Planner, plan.PlannerAlgorithm1)
 	}
-	if got := rt.Metrics.Counter(metrics.MetricPlanOptimalFallback).Value(); got != 1 {
-		t.Errorf("%s = %g after one degraded run, want 1", metrics.MetricPlanOptimalFallback, got)
+	if got := starved.Metrics.Counter(metrics.MetricPlanOptimalFallback).Value(); got != 1 {
+		t.Errorf("%s = %g after one genuinely degraded run, want 1", metrics.MetricPlanOptimalFallback, got)
 	}
 
 	small := newRuntime()
@@ -45,5 +76,39 @@ func TestOptimalFallbackCounter(t *testing.T) {
 	}
 	if got := small.Metrics.Counter(metrics.MetricPlanOptimalFallback).Value(); got != 0 {
 		t.Errorf("%s = %g on an exactly-planned run, want 0", metrics.MetricPlanOptimalFallback, got)
+	}
+}
+
+// TestPlannerRequestedGreedy pins that asking for Algorithm 1 is not a
+// fallback: the counter stays zero even though the result is greedy.
+func TestPlannerRequestedGreedy(t *testing.T) {
+	rt := newRuntime()
+	rt.Metrics = metrics.New()
+	rt.Planner = plan.PlannerAlgorithm1
+	reg := scanRegistry(1 << 14)
+	rt.PreloadInputs(reg)
+	_, _, planRes, err := rt.Analyze(scanProgram, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planRes.Planner != plan.PlannerAlgorithm1 {
+		t.Errorf("planner = %q, want %q", planRes.Planner, plan.PlannerAlgorithm1)
+	}
+	if got := rt.Metrics.Counter(metrics.MetricPlanOptimalFallback).Value(); got != 0 {
+		t.Errorf("%s = %g for an explicitly greedy run, want 0", metrics.MetricPlanOptimalFallback, got)
+	}
+}
+
+// TestPlannerUnknown pins the error for a planner outside the
+// vocabulary.
+func TestPlannerUnknown(t *testing.T) {
+	rt := newRuntime()
+	rt.Planner = "simulated-annealing"
+	reg := scanRegistry(1 << 14)
+	rt.PreloadInputs(reg)
+	if _, _, _, err := rt.Analyze(scanProgram, reg); err == nil {
+		t.Fatal("no error for an unknown planner")
+	} else if !strings.Contains(err.Error(), "unknown planner") {
+		t.Fatalf("error = %v, want mention of the unknown planner", err)
 	}
 }

@@ -1,0 +1,155 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"activego/internal/core"
+	"activego/internal/metrics"
+	"activego/internal/plan"
+)
+
+// TestPlanCacheHitBitIdentical pins the cache contract end to end: the
+// second Analyze of the same program over the same registry shape must
+// hit, skip sampling and planning, and return a plan structurally
+// identical to the cold one.
+func TestPlanCacheHitBitIdentical(t *testing.T) {
+	reg := scanRegistry(1 << 16)
+	rt := newRuntime()
+	rt.Metrics = metrics.New()
+	rt.PlanCache = plan.NewCache()
+	rt.PreloadInputs(reg)
+
+	_, repCold, cold, err := rt.Analyze(scanProgram, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, repWarm, warm, err := rt.Analyze(scanProgram, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("warm plan differs from cold:\ncold %+v\nwarm %+v", cold, warm)
+	}
+	if !reflect.DeepEqual(repCold.Predictions(), repWarm.Predictions()) {
+		t.Fatal("warm profile report differs from cold")
+	}
+	stats := rt.PlanCache.Stats()
+	if stats.Hits != 1 || stats.Misses != 1 {
+		t.Errorf("cache stats = %+v, want 1 hit / 1 miss", stats)
+	}
+	if got := rt.Metrics.Counter(metrics.MetricPlanCacheHit).Value(); got != 1 {
+		t.Errorf("%s = %g, want 1", metrics.MetricPlanCacheHit, got)
+	}
+	if got := rt.Metrics.Counter(metrics.MetricPlanCacheMiss).Value(); got != 1 {
+		t.Errorf("%s = %g, want 1", metrics.MetricPlanCacheMiss, got)
+	}
+}
+
+// TestPlanCacheSaltSeparates pins the salt's job: registries that look
+// identical by shape must be kept apart by PlanCacheSalt (the serving
+// driver salts with workload name, scale divisor, and seed — the shape
+// digest cannot see seed-dependent contents).
+func TestPlanCacheSaltSeparates(t *testing.T) {
+	shared := plan.NewCache()
+	analyze := func(salt string) {
+		t.Helper()
+		reg := scanRegistry(1 << 16)
+		rt := newRuntime()
+		rt.PlanCache = shared
+		rt.PlanCacheSalt = salt
+		rt.PreloadInputs(reg)
+		if _, _, _, err := rt.Analyze(scanProgram, reg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	analyze("tenant-a")
+	analyze("tenant-b")
+	if s := shared.Stats(); s.Hits != 0 || s.Misses != 2 {
+		t.Fatalf("stats after two salts = %+v, want 0 hits / 2 misses", s)
+	}
+	analyze("tenant-a")
+	if s := shared.Stats(); s.Hits != 1 {
+		t.Fatalf("stats after salt revisit = %+v, want 1 hit", s)
+	}
+	if shared.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", shared.Len())
+	}
+}
+
+// loopScan executes its reduction line many times, so windowed
+// observation spreads it over enough windows for drift scoring to build
+// a stale streak.
+const loopScan = `total = 0.0
+for blk in range(16):
+    b = load_block("sensors", blk, 16)
+    total = total + vsum(b)
+`
+
+// TestPlanCacheDriftInvalidation pins the staleness story: when a
+// cached plan's cost model no longer matches observed behavior, the
+// AV012 drift scorer flags it and Run drops the entry, so the next
+// build re-samples instead of serving the stale model. The divergence
+// is forced by poisoning the cached estimates to a fraction of their
+// fitted values — observed costs then overshoot plan by ~50x.
+func TestPlanCacheDriftInvalidation(t *testing.T) {
+	reg := scanRegistry(1 << 16)
+	rt := newRuntime()
+	rt.Metrics = metrics.New()
+	rt.PlanCache = plan.NewCache()
+	rt.PreloadInputs(reg)
+
+	cfg := core.DefaultConfig()
+	cfg.Migration = false
+	cfg.OverheadScale = 1e-4
+
+	// Cold run seeds the cache and measures the duration for windowing.
+	out, err := rt.Run(loopScan, reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := rt.PlanCache.Keys()
+	if len(keys) != 1 {
+		t.Fatalf("cache keys = %v, want exactly one", keys)
+	}
+	key := keys[0]
+
+	poisoned, aux, ok := rt.PlanCache.Get(key)
+	if !ok {
+		t.Fatal("seeded entry missing")
+	}
+	for i := range poisoned.Estimates {
+		e := &poisoned.Estimates[i]
+		e.CTHost /= 50
+		e.CTDev /= 50
+		e.SHost /= 50
+		e.SDev /= 50
+	}
+	rt.PlanCache.Put(key, poisoned, aux)
+
+	cfg.ObsWindow = out.Exec.Duration / 8
+	observed, err := rt.Run(loopScan, reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale := observed.Drift.StaleLines(); len(stale) == 0 {
+		t.Fatal("poisoned plan raised no AV012 stale lines")
+	}
+	if rt.PlanCache.Len() != 0 {
+		t.Errorf("stale entry survived: cache holds %d entries", rt.PlanCache.Len())
+	}
+	if s := rt.PlanCache.Stats(); s.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", s.Invalidations)
+	}
+	if got := rt.Metrics.Counter(metrics.MetricPlanCacheInvalidations).Value(); got != 1 {
+		t.Errorf("%s = %g, want 1", metrics.MetricPlanCacheInvalidations, got)
+	}
+
+	// The next build misses (re-samples) and re-seeds the cache.
+	if _, _, _, err := rt.Analyze(loopScan, reg); err != nil {
+		t.Fatal(err)
+	}
+	if rt.PlanCache.Len() != 1 {
+		t.Errorf("cache not re-seeded after invalidation: %d entries", rt.PlanCache.Len())
+	}
+}

@@ -95,11 +95,41 @@ func init() {
 	}
 }
 
+// planCache memoizes the sampling + planning half of scenario
+// construction across Build calls (DESIGN.md §16): a serving loop that
+// rebuilds the same workload at the same params pays the pipeline once
+// and replays the memoized plan thereafter. The key is salted with
+// (name, ScaleDiv, Seed) because registry shape alone cannot see
+// seed-dependent data content. SetPlanCache swaps it for harnesses that
+// need a cold or isolated cache.
+var planCache = plan.NewCache()
+
+// SetPlanCache replaces the driver's shared plan cache and returns the
+// previous one. Pass plan.NewCache() for an isolated cold cache (the
+// planner experiment does, so its gated hit/miss counts cannot depend
+// on what earlier harness runs warmed), or nil to disable memoization.
+func SetPlanCache(c *plan.Cache) *plan.Cache {
+	prev := planCache
+	planCache = c
+	return prev
+}
+
+// PlanCacheStats snapshots the shared cache's counters (zero-valued
+// when memoization is disabled).
+func PlanCacheStats() plan.CacheStats {
+	if planCache == nil {
+		return plan.CacheStats{}
+	}
+	return planCache.Stats()
+}
+
 func workloadConstructor(spec workloads.Spec) Constructor {
 	return func(params workloads.Params) (*Scenario, error) {
 		inst := spec.Build(params)
 		rt := core.New(platform.Default())
 		rt.SampleScales = profile.ScaledScales
+		rt.PlanCache = planCache
+		rt.PlanCacheSalt = fmt.Sprintf("%s|%d|%d", spec.Name, params.ScaleDiv, params.Seed)
 		rt.PreloadInputs(inst.Registry)
 		prog, _, planRes, err := rt.Analyze(inst.Source, inst.Registry)
 		if err != nil {

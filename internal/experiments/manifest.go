@@ -15,6 +15,8 @@ import (
 	"fmt"
 
 	"activego/internal/bench"
+	"activego/internal/metrics"
+	"activego/internal/plan"
 	"activego/internal/workloads"
 )
 
@@ -296,6 +298,44 @@ func (r *DriftResult) Bench(params workloads.Params) *bench.Manifest {
 	agg.Add("solo.seconds", r.Solo, "s", "")
 	agg.Add("window.seconds", r.Window, "s", "")
 	m.Workloads = append(m.Workloads, agg)
+	return m
+}
+
+// Bench converts the planner study. Exactness, optimal agreement, and
+// the cache's hit/miss split all gate: every quantity is a deterministic
+// function of the fixtures and the seed, so any drift is a real planner
+// or cache behavior change. Node and cut counts gate too (LowerIsBetter)
+// — a search that suddenly expands more nodes is a pruning regression
+// even when it stays exact. The cache rows carry the runtime counter
+// names (metrics catalogue §10) so a manifest diff reads like a metrics
+// diff.
+func (r *PlannerResult) Bench(params workloads.Params) *bench.Manifest {
+	m := bench.NewManifest("planner", params.Seed, params.ScaleDiv)
+	for _, pt := range r.Points {
+		w := bench.Workload{Name: fmt.Sprintf("bnb-%dlines", pt.Lines), Planner: plan.PlannerBnB}
+		w.Add("exact", boolVal(pt.Exact), "", bench.HigherIsBetter)
+		w.Add("nodes", float64(pt.Nodes), "", bench.LowerIsBetter)
+		w.Add("cuts.bound", float64(pt.BoundCuts), "", "")
+		w.Add("cuts.neverwin", float64(pt.NeverWinCuts), "", "")
+		w.Add("components", float64(pt.Components), "", "")
+		w.Add("tcsd.seconds", pt.TCSD, "s", bench.LowerIsBetter)
+		w.Add("greedy.tcsd.seconds", pt.GreedyTCSD, "s", "")
+		w.Add("thost.seconds", pt.THost, "s", "")
+		if pt.Lines <= plan.MaxOptimalLines {
+			w.Add("optimal.match", boolVal(pt.OptimalMatch), "", bench.HigherIsBetter)
+		}
+		m.Workloads = append(m.Workloads, w)
+	}
+	c := bench.Workload{Name: "plan-cache"}
+	c.Add(metrics.MetricPlanCacheHit, float64(r.Cache.Hits), "", bench.HigherIsBetter)
+	c.Add(metrics.MetricPlanCacheMiss, float64(r.Cache.Misses), "", bench.LowerIsBetter)
+	c.Add("hit.rate", r.Cache.HitRate, "", bench.HigherIsBetter)
+	c.Add("hit.identical", boolVal(r.Cache.HitIdentical), "", bench.HigherIsBetter)
+	c.Add("builds", float64(r.Cache.Builds), "", "")
+	c.Add("tenants", float64(r.Cache.Tenants), "", "")
+	c.Add("served.completed", float64(r.Cache.Completed), "", bench.HigherIsBetter)
+	c.Add("served.offered", float64(r.Cache.Offered), "", "")
+	m.Workloads = append(m.Workloads, c)
 	return m
 }
 

@@ -1,0 +1,439 @@
+// Branch-and-bound exact planning past Optimal's enumeration limit
+// (DESIGN.md §16). Optimal brute-forces 2^n placements and silently
+// degrades to the greedy Algorithm 1 beyond MaxOptimalLines; BnB keeps
+// the argmin exact far past that cliff by searching the same space as a
+// depth-first tree over per-line host/CSD decisions:
+//
+//   - the program decomposes into variable-sharing components (the
+//     dynamic mirror of the analysis layer's data-dependence DAG:
+//     residency crossings only couple lines that touch a common
+//     variable, so Equation 1's objective separates across components
+//     and each is solved independently);
+//   - within a component, lines are decided in source order so the
+//     residency-billing walk of EvaluatePlacement evaluates
+//     incrementally and exactly along every tree path;
+//   - an admissible lower bound prunes subtrees: the cost so far plus
+//     the suffix sum of every undecided line's cheaper unit cost
+//     (crossings are nonnegative, so no completion can cost less);
+//   - the never-win margins of prune.go cut the CSD branch of any line
+//     whose offload provably loses under every partition, and order the
+//     remaining branches device-first when the margin says offload can
+//     win;
+//   - the incumbent is seeded from the all-host walk, Algorithm 1's
+//     placement, and a unit-greedy placement, so pruning bites from the
+//     first node.
+//
+// A node budget caps the search; on blowout BnB abandons exactness and
+// returns Algorithm 1's plan (Result.Planner records it, core bumps
+// plan.optimal.fallback). Within budget the result is provably the
+// argmin of EvaluatePlacement — the property test pins it against the
+// brute-force Optimal on every ≤MaxOptimalLines program.
+package plan
+
+import (
+	"activego/internal/codegen"
+	"activego/internal/par"
+)
+
+// PlannerBnB labels plans produced by the branch-and-bound search.
+const PlannerBnB = "bnb"
+
+// DefaultBnBNodeBudget caps the branch-and-bound expansions of one plan.
+// A node is one host-or-CSD side assignment of one free line; the
+// worst-case tree over a b-line component has 2^(b+1)−2 of them.
+const DefaultBnBNodeBudget = 1 << 22
+
+// BnBExactLines is the largest variable-sharing component of free lines
+// for which branch-and-bound is *guaranteed* exact under the default
+// budget, with no help from pruning: 2^(BnBExactLines+1)−2 ≤
+// DefaultBnBNodeBudget. Programs whose components all fit under it can
+// never hit the Algorithm 1 fallback — the analysis layer's AV008
+// advisory fires only past this guarantee (a test pins the two).
+const BnBExactLines = 21
+
+// BnBStats reports one branch-and-bound run's search effort; pass a
+// zero value to BnBBudget to collect it.
+type BnBStats struct {
+	// Budget is the node budget the search ran under.
+	Budget int
+	// Nodes counts side assignments expanded across all components.
+	Nodes int
+	// BoundCuts counts subtrees pruned because the admissible lower
+	// bound already met the incumbent.
+	BoundCuts int
+	// NeverWinCuts counts free lines whose CSD branch was never opened
+	// because the AV011 margin proof shows offloading strictly loses.
+	NeverWinCuts int
+	// Components is the number of variable-sharing components searched.
+	Components int
+	// FreeLines is the number of unpinned lines over all components.
+	FreeLines int
+	// Fallback reports that the budget blew and the returned plan is
+	// Algorithm 1's, not the exact argmin.
+	Fallback bool
+}
+
+// BnB is BnBBudget under the default node budget.
+func BnB(estimates []LineEstimate, cons Constraints, m Machine) *Result {
+	return BnBBudget(estimates, cons, m, 0, nil)
+}
+
+// BnBBudget runs the branch-and-bound planner under an explicit node
+// budget (0 = DefaultBnBNodeBudget), filling stats if non-nil. On
+// budget blowout it returns Algorithm1's plan with stats.Fallback set.
+func BnBBudget(estimates []LineEstimate, cons Constraints, m Machine, budget int, stats *BnBStats) *Result {
+	if budget <= 0 {
+		budget = DefaultBnBNodeBudget
+	}
+	if stats == nil {
+		stats = &BnBStats{}
+	}
+	stats.Budget = budget
+
+	margins := neverWinMargins(estimates, m)
+	pinned := make([]bool, len(estimates))
+	for i := range estimates {
+		if _, p := cons.Pinned(estimates[i].Line); p {
+			pinned[i] = true
+		} else {
+			stats.FreeLines++
+		}
+	}
+
+	s := &bnbSearch{
+		est:     estimates,
+		pinned:  pinned,
+		margins: margins,
+		m:       m,
+		budget:  budget,
+		stats:   stats,
+		home:    map[string]bool{},
+	}
+	part := codegen.NewPartition()
+	for _, comp := range varComponents(estimates) {
+		stats.Components++
+		assign, ok := s.solveComponent(comp)
+		if !ok {
+			stats.Fallback = true
+			return Algorithm1(estimates, cons, m)
+		}
+		for k, idx := range comp {
+			if assign[k] {
+				part.CSDLines[estimates[idx].Line] = true
+			}
+		}
+	}
+	// Report both totals through the canonical residency walk so the
+	// numbers are bit-consistent with Optimal's for the same partition.
+	tHost := EvaluatePlacement(estimates, codegen.NewPartition(), m)
+	tCSD := tHost
+	if !part.Empty() {
+		tCSD = EvaluatePlacement(estimates, part, m)
+	}
+	return &Result{Partition: part, Estimates: estimates, THost: tHost, TCSD: tCSD, Planner: PlannerBnB}
+}
+
+// varComponents partitions the estimate indices into variable-sharing
+// connected components: two lines land together when any chain of
+// shared read/written variables links them. Residency crossings only
+// arise on shared variables, so EvaluatePlacement's total is the sum of
+// the components' walks and the argmin factorizes. Components are
+// returned with members ascending, ordered by first member.
+func varComponents(estimates []LineEstimate) [][]int {
+	parent := make([]int, len(estimates))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if rb < ra {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	owner := map[string]int{}
+	touch := func(i int, name string) {
+		if j, ok := owner[name]; ok {
+			union(i, j)
+		} else {
+			owner[name] = i
+		}
+	}
+	for i := range estimates {
+		for _, r := range estimates[i].Reads {
+			touch(i, r.Name)
+		}
+		for _, w := range estimates[i].Writes {
+			touch(i, w.Name)
+		}
+	}
+	order := []int{}
+	members := map[int][]int{}
+	for i := range estimates {
+		r := find(i)
+		if _, seen := members[r]; !seen {
+			order = append(order, r)
+		}
+		members[r] = append(members[r], i)
+	}
+	out := make([][]int, 0, len(order))
+	for _, r := range order {
+		out = append(out, members[r])
+	}
+	return out
+}
+
+// homeChange is one residency-map mutation on the DFS path, recorded so
+// backtracking can restore the walk state exactly.
+type homeChange struct {
+	name    string
+	prevDev bool
+	existed bool
+}
+
+type bnbSearch struct {
+	est     []LineEstimate
+	pinned  []bool
+	margins []marginProof
+	m       Machine
+	budget  int
+	stats   *BnBStats
+
+	// Per-component search state.
+	comp      []int     // member indices, ascending
+	suffix    []float64 // suffix[k] = Σ_{j≥k} cheapest unit cost
+	incumbent float64
+	best      []bool // assignment achieving the incumbent
+	cur       []bool
+	home      map[string]bool
+	undo      []homeChange
+	nodes     int
+}
+
+// step extends the residency walk by one line on the given side,
+// mirroring EvaluatePlacementDetail's accumulation order exactly
+// (reads, then writes, then the unit cost) so a completed path's cost
+// is the walk's, bit for bit. Mutations land on the undo log.
+func (s *bnbSearch) step(cost float64, e *LineEstimate, onCSD bool) float64 {
+	for _, r := range e.Reads {
+		dev, known := s.home[r.Name]
+		if known && dev != onCSD {
+			cost += r.Bytes/s.m.D2HBW + s.m.D2HLat
+			s.undo = append(s.undo, homeChange{r.Name, dev, true})
+			s.home[r.Name] = onCSD
+		}
+	}
+	for _, w := range e.Writes {
+		dev, known := s.home[w.Name]
+		s.undo = append(s.undo, homeChange{w.Name, dev, known})
+		s.home[w.Name] = onCSD
+	}
+	if onCSD {
+		cost += e.DevTotal() + e.QueueOverhead(s.m)
+	} else {
+		cost += e.HostTotal()
+	}
+	return cost
+}
+
+// unwind rolls the residency map back to a recorded undo-log length.
+func (s *bnbSearch) unwind(n int) {
+	for i := len(s.undo) - 1; i >= n; i-- {
+		ch := s.undo[i]
+		if ch.existed {
+			s.home[ch.name] = ch.prevDev
+		} else {
+			delete(s.home, ch.name)
+		}
+	}
+	s.undo = s.undo[:n]
+}
+
+// walkAssign prices a complete component assignment through the
+// incremental walk (used to seed the incumbent).
+func (s *bnbSearch) walkAssign(assign []bool) float64 {
+	mark := len(s.undo)
+	cost := 0.0
+	for k, idx := range s.comp {
+		cost = s.step(cost, &s.est[idx], assign[k])
+	}
+	s.unwind(mark)
+	return cost
+}
+
+// forcedHost reports whether the component member at position k may
+// only run on the host: pinned by constraints, or proved never-win.
+func (s *bnbSearch) forcedHost(k int) bool {
+	idx := s.comp[k]
+	if s.pinned[idx] {
+		return true
+	}
+	mp := s.margins[idx]
+	return mp.Proved && mp.Margin > 0
+}
+
+// solveComponent finds the component's exact argmin assignment (true =
+// CSD), or reports budget blowout.
+func (s *bnbSearch) solveComponent(comp []int) ([]bool, bool) {
+	s.comp = comp
+	n := len(comp)
+
+	// Admissible suffix bound: every undecided line costs at least its
+	// cheaper unit (forced-host lines cost at least HostTotal), and any
+	// crossing only adds. suffix[n] = 0.
+	s.suffix = make([]float64, n+1)
+	for k := n - 1; k >= 0; k-- {
+		e := &s.est[comp[k]]
+		unit := e.HostTotal()
+		if !s.forcedHost(k) {
+			if dev := e.DevTotal() + e.QueueOverhead(s.m); dev < unit {
+				unit = dev
+			}
+		}
+		s.suffix[k] = s.suffix[k+1] + unit
+	}
+	for k := 0; k < n; k++ {
+		idx := comp[k]
+		if !s.pinned[idx] {
+			mp := s.margins[idx]
+			if mp.Proved && mp.Margin > 0 {
+				s.stats.NeverWinCuts++
+			}
+		}
+	}
+
+	// Seed the incumbent: all-host first (so the no-offload tie keeps
+	// the all-host plan, matching Optimal's lowest-mask tie-break), then
+	// Algorithm 1's placement restricted to the component, then the
+	// unit-greedy placement. DFS must then strictly beat the seed.
+	s.best = make([]bool, n)
+	s.cur = make([]bool, n)
+	allHost := make([]bool, n)
+	s.incumbent = s.walkAssign(allHost)
+	seed := func(assign []bool) {
+		if c := s.walkAssign(assign); c < s.incumbent {
+			s.incumbent = c
+			copy(s.best, assign)
+		}
+	}
+	alg1 := Algorithm1(s.est, Constraints{HostOnly: s.consHostOnly()}, s.m)
+	fromAlg1 := make([]bool, n)
+	greedy := make([]bool, n)
+	for k, idx := range comp {
+		if s.forcedHost(k) {
+			continue
+		}
+		e := &s.est[idx]
+		fromAlg1[k] = alg1.Partition.OnCSD(e.Line)
+		greedy[k] = e.DevTotal()+e.QueueOverhead(s.m) < e.HostTotal()
+	}
+	seed(fromAlg1)
+	seed(greedy)
+
+	if !s.dfs(0, 0) {
+		return nil, false
+	}
+	out := make([]bool, n)
+	copy(out, s.best)
+	return out, true
+}
+
+// consHostOnly rebuilds the forced-host line set (constraint pins plus
+// never-win proofs) for the Algorithm 1 incumbent seed.
+func (s *bnbSearch) consHostOnly() map[int]string {
+	out := map[int]string{}
+	for i := range s.est {
+		mp := s.margins[i]
+		if s.pinned[i] || (mp.Proved && mp.Margin > 0) {
+			out[s.est[i].Line] = "bnb: forced host"
+		}
+	}
+	return out
+}
+
+// dfs decides the side of component member k with cost already
+// accumulated over members 0..k-1. Returns false on budget blowout.
+func (s *bnbSearch) dfs(k int, cost float64) bool {
+	if k == len(s.comp) {
+		if cost < s.incumbent {
+			s.incumbent = cost
+			copy(s.best, s.cur)
+		}
+		return true
+	}
+	// Admissible bound: no completion of this prefix can beat the
+	// incumbent, and improvement is strict, so ≥ prunes.
+	if cost+s.suffix[k] >= s.incumbent {
+		s.stats.BoundCuts++
+		return true
+	}
+	e := &s.est[s.comp[k]]
+	if s.forcedHost(k) {
+		// Forced sides consume no budget: they never branch, so the
+		// worst-case tree stays 2^(free+1)−2 nodes.
+		mark := len(s.undo)
+		s.cur[k] = false
+		ok := s.dfs(k+1, s.step(cost, e, false))
+		s.unwind(mark)
+		return ok
+	}
+	// Branch order: the never-win margin says how decisively offloading
+	// can still win; try the device side first when it can.
+	sides := [2]bool{false, true}
+	if s.margins[s.comp[k]].Margin < 0 {
+		sides = [2]bool{true, false}
+	}
+	for _, onCSD := range sides {
+		s.nodes++
+		s.stats.Nodes = s.nodes
+		if s.nodes > s.budget {
+			return false
+		}
+		mark := len(s.undo)
+		s.cur[k] = onCSD
+		if !s.dfs(k+1, s.step(cost, e, onCSD)) {
+			return false
+		}
+		s.unwind(mark)
+	}
+	return true
+}
+
+// PlannerAuto selects Optimal up to MaxOptimalLines free lines and
+// branch-and-bound beyond — the runtime's default ladder. The labels
+// below are the -planner flag's vocabulary; Result.Planner always
+// records the algorithm that actually ran.
+const PlannerAuto = "auto"
+
+// Auto is AutoPool without a worker pool.
+func Auto(estimates []LineEstimate, cons Constraints, m Machine) *Result {
+	return AutoPool(estimates, cons, m, nil, 0, nil)
+}
+
+// AutoPool is the runtime's planner ladder: the brute-force Optimal
+// enumeration while it is affordable (≤ MaxOptimalLines free lines —
+// bit-identical to the historical behavior, lowest-mask ties included),
+// branch-and-bound beyond it, and Algorithm 1 only if the node budget
+// blows (stats.Fallback reports it; core bumps plan.optimal.fallback).
+func AutoPool(estimates []LineEstimate, cons Constraints, m Machine, pool *par.Pool, budget int, stats *BnBStats) *Result {
+	free := 0
+	for i := range estimates {
+		if _, p := cons.Pinned(estimates[i].Line); !p {
+			free++
+		}
+	}
+	if free <= MaxOptimalLines {
+		return OptimalPool(estimates, cons, m, pool)
+	}
+	return BnBBudget(estimates, cons, m, budget, stats)
+}

@@ -1,0 +1,230 @@
+package plan
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"activego/internal/fault"
+)
+
+// bnbTestMachine mirrors the simulated platform's constants closely
+// enough that unit costs, queue overheads, and transfer terms all weigh
+// in at comparable magnitudes (the regime where planning is hard).
+func bnbTestMachine() Machine {
+	return Machine{
+		HostCores: 8, HostRate: 1e9,
+		CSECores: 4, CSERate: 2.5e8,
+		FlashBW: 9e9, D2HBW: 5e9, D2HLat: 1e-5,
+		HostMemBW: 3e10, DevMemBW: 1.5e10,
+		C: 3.2,
+	}
+}
+
+// randomEstimates fabricates n coupled line estimates from a splitmix64
+// stream: compute/storage costs spread over two orders of magnitude and
+// var flows drawn from a small name pool so lines genuinely contend
+// over residency.
+func randomEstimates(n int, seed uint64) []LineEstimate {
+	state := seed
+	next := func() uint64 {
+		state++
+		return fault.Mix64(state)
+	}
+	unit := func(scale float64) float64 {
+		return scale * float64(next()%1000+1) / 1000
+	}
+	vars := []string{"a", "b", "c", "d", "e"}
+	out := make([]LineEstimate, n)
+	for i := 0; i < n; i++ {
+		ct := unit(2e-4)
+		e := LineEstimate{
+			Line:   i + 1,
+			Execs:  float64(next()%64 + 1),
+			CTHost: ct,
+			CTDev:  ct * (0.5 + 3*float64(next()%100)/100),
+			SHost:  unit(3e-4),
+			SDev:   unit(1.5e-4),
+		}
+		for _, v := range vars {
+			if next()%3 == 0 {
+				e.Reads = append(e.Reads, VarFlow{Name: v, Bytes: float64(next() % 2e6)})
+			}
+			if next()%4 == 0 {
+				e.Writes = append(e.Writes, VarFlow{Name: v, Bytes: float64(next() % 2e6)})
+			}
+		}
+		for _, r := range e.Reads {
+			e.DIn += r.Bytes
+		}
+		for _, w := range e.Writes {
+			e.DOut += w.Bytes
+		}
+		out[i] = e
+	}
+	return out
+}
+
+// randomConstraints pins a random subset of lines host-only.
+func randomConstraints(n int, seed uint64) Constraints {
+	cons := Constraints{HostOnly: map[int]string{}}
+	state := seed
+	for i := 1; i <= n; i++ {
+		state++
+		if fault.Mix64(state)%4 == 0 {
+			cons.HostOnly[i] = "test pin"
+		}
+	}
+	return cons
+}
+
+// TestBnBMatchesOptimalProperty is the exactness property pin: over 120
+// seeded random programs of up to MaxOptimalLines lines — constraints
+// and pins included — branch-and-bound must return a placement whose
+// residency-walk cost equals brute-force Optimal's. Seed provenance:
+// trial index into splitmix64, base seed 0xB4B5 chosen arbitrarily and
+// fixed forever.
+func TestBnBMatchesOptimalProperty(t *testing.T) {
+	m := bnbTestMachine()
+	const trials = 120
+	for trial := 0; trial < trials; trial++ {
+		seed := uint64(0xB4B5 + trial)
+		n := int(fault.Mix64(seed)%uint64(MaxOptimalLines)) + 1
+		estimates := randomEstimates(n, seed)
+		cons := randomConstraints(n, seed*31)
+
+		opt := Optimal(cloneEstimates(estimates), cons, m)
+		var stats BnBStats
+		bnb := BnBBudget(cloneEstimates(estimates), cons, m, 0, &stats)
+
+		if stats.Fallback {
+			t.Fatalf("trial %d (n=%d): BnB fell back under the default budget", trial, n)
+		}
+		if bnb.Planner != PlannerBnB {
+			t.Fatalf("trial %d: planner = %q, want %q", trial, bnb.Planner, PlannerBnB)
+		}
+		optCost := EvaluatePlacement(estimates, opt.Partition, m)
+		bnbCost := EvaluatePlacement(estimates, bnb.Partition, m)
+		if bnbCost != optCost {
+			t.Errorf("trial %d (n=%d, seed %#x): BnB cost %.17g != Optimal cost %.17g\n  opt=%v\n  bnb=%v",
+				trial, n, seed, bnbCost, optCost, opt.Partition.Lines(), bnb.Partition.Lines())
+		}
+		if bnb.TCSD != bnbCost {
+			t.Errorf("trial %d: reported TCSD %.17g != canonical walk %.17g", trial, bnb.TCSD, bnbCost)
+		}
+		if bnb.THost != opt.THost {
+			t.Errorf("trial %d: THost %.17g != Optimal's %.17g", trial, bnb.THost, opt.THost)
+		}
+		for _, ln := range bnb.Partition.Lines() {
+			if _, pinned := cons.Pinned(ln); pinned {
+				t.Errorf("trial %d: pinned line %d offloaded", trial, ln)
+			}
+		}
+	}
+}
+
+// TestBnBDeterministic pins that two runs over the same inputs produce
+// identical partitions and search statistics.
+func TestBnBDeterministic(t *testing.T) {
+	m := bnbTestMachine()
+	estimates := randomEstimates(14, 77)
+	var s1, s2 BnBStats
+	r1 := BnBBudget(cloneEstimates(estimates), Constraints{}, m, 0, &s1)
+	r2 := BnBBudget(cloneEstimates(estimates), Constraints{}, m, 0, &s2)
+	if !r1.Partition.Equal(r2.Partition) || r1.TCSD != r2.TCSD {
+		t.Fatalf("partitions differ across identical runs: %v vs %v", r1.Partition, r2.Partition)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("stats differ across identical runs: %+v vs %+v", s1, s2)
+	}
+}
+
+// TestBnBBudgetFallback pins the blowout path: a one-node budget on a
+// coupled program cannot finish, so the result must be Algorithm 1's
+// plan with Fallback set.
+func TestBnBBudgetFallback(t *testing.T) {
+	m := bnbTestMachine()
+	estimates := randomEstimates(12, 9)
+	var stats BnBStats
+	res := BnBBudget(cloneEstimates(estimates), Constraints{}, m, 1, &stats)
+	if !stats.Fallback {
+		t.Fatal("budget 1 did not trigger fallback")
+	}
+	want := Algorithm1(cloneEstimates(estimates), Constraints{}, m)
+	if res.Planner != PlannerAlgorithm1 {
+		t.Errorf("planner = %q, want %q", res.Planner, PlannerAlgorithm1)
+	}
+	if !res.Partition.Equal(want.Partition) || res.TCSD != want.TCSD {
+		t.Errorf("fallback plan differs from Algorithm1: %v vs %v", res.Partition, want.Partition)
+	}
+}
+
+// TestBnBExactGuarantee pins the static exactness constant to the
+// default budget: a single component of BnBExactLines free lines has a
+// worst-case tree of 2^(n+1)−2 nodes, which must fit the budget (the
+// analysis layer's AV008 threshold leans on this).
+func TestBnBExactGuarantee(t *testing.T) {
+	worst := (1 << (BnBExactLines + 1)) - 2
+	if worst > DefaultBnBNodeBudget {
+		t.Fatalf("worst case for %d lines is %d nodes > budget %d", BnBExactLines, worst, DefaultBnBNodeBudget)
+	}
+	if next := (1 << (BnBExactLines + 2)) - 2; next <= DefaultBnBNodeBudget {
+		t.Fatalf("BnBExactLines is understated: %d lines also fit (%d ≤ %d)", BnBExactLines+1, next, DefaultBnBNodeBudget)
+	}
+}
+
+// TestBnBComponentsDecompose pins the component decomposition: two
+// independent chains must be searched as two components, and the
+// worst-case node count is the sum, not the product.
+func TestBnBComponentsDecompose(t *testing.T) {
+	m := bnbTestMachine()
+	var estimates []LineEstimate
+	for c := 0; c < 2; c++ {
+		chain := randomEstimates(11, uint64(300+c))
+		for i := range chain {
+			chain[i].Line = c*11 + i + 1
+			for j := range chain[i].Reads {
+				chain[i].Reads[j].Name = fmt.Sprintf("c%d.%s", c, chain[i].Reads[j].Name)
+			}
+			for j := range chain[i].Writes {
+				chain[i].Writes[j].Name = fmt.Sprintf("c%d.%s", c, chain[i].Writes[j].Name)
+			}
+		}
+		estimates = append(estimates, chain...)
+	}
+	var stats BnBStats
+	res := BnBBudget(estimates, Constraints{}, m, 0, &stats)
+	if stats.Fallback {
+		t.Fatal("unexpected fallback")
+	}
+	if stats.Components != 2 {
+		t.Fatalf("components = %d, want 2", stats.Components)
+	}
+	perChainWorst := (1 << 12) - 2
+	if stats.Nodes > 2*perChainWorst {
+		t.Fatalf("nodes = %d exceeds the summed per-component worst case %d", stats.Nodes, 2*perChainWorst)
+	}
+	if res.TCSD > res.THost {
+		t.Fatalf("TCSD %.17g worse than all-host %.17g", res.TCSD, res.THost)
+	}
+}
+
+// TestAutoPoolLadder pins the auto ladder's edges: ≤MaxOptimalLines free
+// lines run Optimal (bit-compatible with the historical default), more
+// run branch-and-bound.
+func TestAutoPoolLadder(t *testing.T) {
+	m := bnbTestMachine()
+	small := randomEstimates(MaxOptimalLines, 5)
+	if res := Auto(cloneEstimates(small), Constraints{}, m); res.Planner != PlannerOptimal {
+		t.Errorf("auto on %d lines ran %q, want %q", MaxOptimalLines, res.Planner, PlannerOptimal)
+	}
+	big := randomEstimates(MaxOptimalLines+1, 5)
+	if res := Auto(cloneEstimates(big), Constraints{}, m); res.Planner != PlannerBnB {
+		t.Errorf("auto on %d lines ran %q, want %q", MaxOptimalLines+1, res.Planner, PlannerBnB)
+	}
+	// Pins count as non-free: 17 lines with one pinned is Optimal again.
+	cons := Constraints{HostOnly: map[int]string{1: "pin"}}
+	if res := Auto(cloneEstimates(big), cons, m); res.Planner != PlannerOptimal {
+		t.Errorf("auto on %d lines with one pin ran %q, want %q", MaxOptimalLines+1, res.Planner, PlannerOptimal)
+	}
+}

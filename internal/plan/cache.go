@@ -1,0 +1,165 @@
+// Plan memoization (DESIGN.md §16). The serving driver re-runs the full
+// pipeline — sampling, curve fits, planning — for every scenario it
+// constructs, even when the program, the workload shape, and the machine
+// constants are identical to the last construction. The cache memoizes
+// the planner's output (and, through the opaque aux slot, whatever else
+// the caller wants to reuse, e.g. the profile report and advisories)
+// under a caller-computed digest of exactly those inputs.
+//
+// Correctness contract: a hit must be bit-identical to a cold plan.
+// Both Put and Get therefore deep-copy the Result — entries are frozen
+// at insertion and every consumer gets a private copy, so downstream
+// mutation (executors share *LineEstimate slices) can never leak
+// between runs. Staleness is handled by the caller: core invalidates an
+// entry when the observability layer's AV012 drift scoring flags the
+// cached model stale (obs.DriftReport.StaleLines).
+package plan
+
+import (
+	"sort"
+	"sync"
+
+	"activego/internal/codegen"
+)
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits          uint64
+	Misses        uint64
+	Invalidations uint64
+}
+
+// HitRate is hits over lookups (0 when the cache was never consulted).
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type cacheEntry struct {
+	res *Result
+	aux any
+}
+
+// Cache memoizes plan results under caller-computed key digests. Safe
+// for concurrent use; the zero value is not usable, call NewCache.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]cacheEntry
+	stats   CacheStats
+}
+
+// NewCache builds an empty plan cache.
+func NewCache() *Cache {
+	return &Cache{entries: map[string]cacheEntry{}}
+}
+
+// Get returns a private deep copy of the plan cached under key plus the
+// aux value stored with it. Counts a hit or a miss.
+func (c *Cache) Get(key string) (*Result, any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, nil, false
+	}
+	c.stats.Hits++
+	return e.res.Clone(), e.aux, true
+}
+
+// Put stores a deep copy of res (and aux, treated as immutable) under
+// key, replacing any previous entry.
+func (c *Cache) Put(key string, res *Result, aux any) {
+	frozen := res.Clone()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = cacheEntry{res: frozen, aux: aux}
+}
+
+// Invalidate drops the entry under key, reporting whether one existed.
+func (c *Cache) Invalidate(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; !ok {
+		return false
+	}
+	delete(c.entries, key)
+	c.stats.Invalidations++
+	return true
+}
+
+// Keys returns the live entry keys in sorted order — for inspection and
+// tests; the digests are opaque to the cache itself.
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Len is the number of live entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats snapshots the hit/miss/invalidation counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Clone deep-copies a plan result: partition map, estimate slices
+// (including per-line var flows), and the provenance record. nil-safe.
+func (r *Result) Clone() *Result {
+	if r == nil {
+		return nil
+	}
+	out := &Result{
+		Partition: codegenClone(r.Partition),
+		Estimates: cloneEstimates(r.Estimates),
+		THost:     r.THost,
+		TCSD:      r.TCSD,
+		Planner:   r.Planner,
+	}
+	if r.Provenance != nil {
+		p := *r.Provenance
+		p.Lines = append([]LineProvenance(nil), r.Provenance.Lines...)
+		out.Provenance = &p
+	}
+	return out
+}
+
+// codegenClone copies a partition's line set (iteration order is
+// irrelevant: the copy is a set, not an ordered sink).
+func codegenClone(p codegen.Partition) codegen.Partition {
+	out := codegen.NewPartition()
+	for ln, on := range p.CSDLines {
+		if on {
+			out.CSDLines[ln] = true
+		}
+	}
+	return out
+}
+
+func cloneEstimates(in []LineEstimate) []LineEstimate {
+	if in == nil {
+		return nil
+	}
+	out := make([]LineEstimate, len(in))
+	copy(out, in)
+	for i := range out {
+		out[i].Reads = append([]VarFlow(nil), in[i].Reads...)
+		out[i].Writes = append([]VarFlow(nil), in[i].Writes...)
+	}
+	return out
+}

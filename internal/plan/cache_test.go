@@ -1,0 +1,86 @@
+package plan
+
+import (
+	"reflect"
+	"testing"
+)
+
+func cachedPlan(t *testing.T) *Result {
+	t.Helper()
+	m := bnbTestMachine()
+	estimates := randomEstimates(10, 21)
+	cons := Constraints{HostOnly: map[int]string{3: "pin"}}
+	res := Optimal(estimates, cons, m)
+	res.Provenance = BuildProvenance(res, cons, NeverWin(estimates, m), m)
+	return res
+}
+
+// TestCacheHitBitIdentical pins the cache's core contract: a hit is a
+// deep copy that is structurally identical to the stored plan, and
+// mutating either side never leaks into the other.
+func TestCacheHitBitIdentical(t *testing.T) {
+	cold := cachedPlan(t)
+	c := NewCache()
+	c.Put("k", cold, "aux")
+
+	warm, aux, ok := c.Get("k")
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if aux != "aux" {
+		t.Fatalf("aux = %v", aux)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("hit differs from cold plan:\ncold %+v\nwarm %+v", cold, warm)
+	}
+	// Mutate the hit; a second hit must still equal the original.
+	warm.Partition.CSDLines[999] = true
+	warm.Estimates[0].CTHost = -1
+	if len(warm.Estimates[0].Reads) > 0 {
+		warm.Estimates[0].Reads[0].Bytes = -1
+	}
+	warm.Provenance.Lines[0].Execs = -1
+	again, _, _ := c.Get("k")
+	if !reflect.DeepEqual(cold, again) {
+		t.Fatal("mutating a previous hit leaked into the cache")
+	}
+	// Mutating what the caller Put must not affect entries either.
+	cold.Partition.CSDLines[888] = true
+	final, _, _ := c.Get("k")
+	if final.Partition.OnCSD(888) {
+		t.Fatal("mutating the Put argument leaked into the cache")
+	}
+}
+
+// TestCacheStatsAndInvalidate pins the counters and the invalidation
+// path (core wires AV012-stale drift to Invalidate).
+func TestCacheStatsAndInvalidate(t *testing.T) {
+	c := NewCache()
+	if _, _, ok := c.Get("k"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("k", cachedPlan(t), nil)
+	if _, _, ok := c.Get("k"); !ok {
+		t.Fatal("miss after Put")
+	}
+	if !c.Invalidate("k") {
+		t.Fatal("Invalidate reported no entry")
+	}
+	if c.Invalidate("k") {
+		t.Fatal("Invalidate found a deleted entry")
+	}
+	if _, _, ok := c.Get("k"); ok {
+		t.Fatal("hit after invalidation")
+	}
+	got := c.Stats()
+	want := CacheStats{Hits: 1, Misses: 2, Invalidations: 1}
+	if got != want {
+		t.Fatalf("stats = %+v, want %+v", got, want)
+	}
+	if rate := got.HitRate(); rate != 1.0/3 {
+		t.Fatalf("hit rate = %v", rate)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d after invalidation", c.Len())
+	}
+}
